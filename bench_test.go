@@ -1,0 +1,138 @@
+// Benchmarks regenerating each of the paper's tables and figures (one
+// benchmark per artifact, reduced problem sizes so the whole suite runs
+// in minutes). cmd/priview-bench runs the same code at any scale and
+// prints the rows; EXPERIMENTS.md records paper-vs-measured values from
+// full runs.
+package priview_test
+
+import (
+	"testing"
+
+	"priview/internal/experiments"
+)
+
+// benchConfig keeps per-iteration cost low; the shapes (method
+// orderings, orders of magnitude) already show at this size.
+func benchConfig() experiments.Config {
+	return experiments.Config{Queries: 4, Runs: 1, N: 5000, Seed: 1}
+}
+
+func BenchmarkTabCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTabCrossover()
+	}
+}
+
+func BenchmarkTabMidsize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTabMidsize()
+	}
+}
+
+func BenchmarkTabEll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTabEll()
+	}
+}
+
+func BenchmarkTabKosarakT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTabKosarakT(int64(i) + 1)
+	}
+}
+
+func BenchmarkTabCategorical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTabCategorical()
+	}
+}
+
+func BenchmarkTabRuntime(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTabRuntime(cfg)
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig1(cfg)
+		reportMeanError(b, rows, "PriView")
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig2(cfg)
+		reportMeanError(b, rows, "PriView")
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Queries = 2
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig3(cfg)
+		reportMeanError(b, rows, "CME")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig4(cfg)
+		reportMeanError(b, rows, "Ripple1")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	cfg := benchConfig()
+	cfg.N = 3000
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig5(cfg)
+		reportMeanError(b, rows, "PriView")
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig6(cfg)
+		reportMeanError(b, rows, "")
+	}
+}
+
+// reportMeanError surfaces the mean normalized L2 error of one method
+// as a custom benchmark metric, so accuracy regressions show up next to
+// timing ones.
+func reportMeanError(b *testing.B, rows []experiments.Row, method string) {
+	b.Helper()
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if (method == "" || r.Method == method) && r.Metric == "L2n" && r.Note != "no-noise" {
+			sum += r.Stats.Mean
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), "meanL2n")
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunAblation(cfg)
+		reportMeanError(b, rows, "solver/IPF")
+	}
+}
+
+func BenchmarkCategoricalSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiments.RunCategoricalSweep(cfg)
+	}
+}

@@ -1,0 +1,102 @@
+// Command priview-bench regenerates the paper's evaluation artifacts:
+// every figure's candlestick rows and every in-text table. By default it
+// runs a reduced configuration that finishes in minutes; -full runs the
+// paper-scale setup (200 query sets, 5 runs, full dataset sizes), which
+// takes considerably longer.
+//
+// Usage:
+//
+//	priview-bench -exp all                 # everything, reduced size
+//	priview-bench -exp fig2 -full          # one figure, paper scale
+//	priview-bench -exp fig1 -csv fig1.csv  # machine-readable output
+//	priview-bench -exp tables              # the in-text analytic tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"priview/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: all, fig1..fig6, ablation, cat-sweep, tables, runtime")
+	full := flag.Bool("full", false, "paper-scale configuration (200 queries, 5 runs, full N)")
+	queries := flag.Int("queries", 0, "override query-set count")
+	runs := flag.Int("runs", 0, "override runs per query")
+	n := flag.Int("n", 0, "override dataset size (0 = config default)")
+	seed := flag.Int64("seed", 1, "root seed")
+	csvPath := flag.String("csv", "", "also write figure rows as CSV to this file")
+	flag.Parse()
+
+	cfg := experiments.Reduced()
+	if *full {
+		cfg = experiments.Full()
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	cfg.Seed = *seed
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	var allRows []experiments.Row
+	run := func(id, title string, f func(experiments.Config) []experiments.Row) {
+		if !want(id) {
+			return
+		}
+		start := time.Now()
+		rows := f(cfg)
+		fmt.Printf("\n== %s: %s (%v) ==\n", id, title, time.Since(start).Round(time.Millisecond))
+		fmt.Print(experiments.FormatRows(rows))
+		allRows = append(allRows, rows...)
+	}
+
+	if want("tables") {
+		fmt.Println(experiments.RunTabCrossover().Format())
+		fmt.Println(experiments.RunTabMidsize().Format())
+		fmt.Println(experiments.RunTabEll().Format())
+		fmt.Println(experiments.RunTabKosarakT(cfg.Seed).Format())
+		fmt.Println(experiments.RunTabCategorical().Format())
+	}
+	run("fig1", "all methods on MSNBC (d=9)", experiments.RunFig1)
+	run("fig2", "PriView vs Flat/Direct/Fourier on Kosarak and AOL", experiments.RunFig2)
+	run("fig3", "reconstruction methods (CME/LP/CLP/CLN/CME*)", experiments.RunFig3)
+	run("fig4", "non-negativity methods (None/Simple/Global/Ripple)", experiments.RunFig4)
+	run("fig5", "markov-chain datasets mc1..mc7 (d=64)", experiments.RunFig5)
+	run("fig6", "covering-design comparison on Kosarak", experiments.RunFig6)
+	run("ablation", "beyond-paper ablations (solver, pipeline, ripple-θ)", experiments.RunAblation)
+	run("cat-sweep", "categorical view cell-budget sweep (§4.7 guideline)", experiments.RunCategoricalSweep)
+	if want("runtime") {
+		rows := experiments.RunTabRuntime(cfg)
+		fmt.Println()
+		fmt.Print(experiments.FormatRuntime(rows))
+	}
+
+	if *csvPath != "" && len(allRows) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "priview-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteCSV(f, allRows); err != nil {
+			fmt.Fprintf(os.Stderr, "priview-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d rows to %s\n", len(allRows), *csvPath)
+	}
+
+	if *exp != "all" && !strings.HasPrefix(*exp, "fig") && *exp != "ablation" && *exp != "cat-sweep" && *exp != "tables" && *exp != "runtime" {
+		fmt.Fprintf(os.Stderr, "priview-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,61 @@
+// Command priview-serve serves a published PriView synopsis over HTTP.
+// Because a synopsis is already differentially private, serving
+// unlimited marginal queries from it consumes no additional privacy
+// budget — this is the deployment story for a data curator: build once
+// with cmd/priview, serve forever.
+//
+//	priview-serve -synopsis synopsis.json -addr :8080
+//
+// Endpoints:
+//
+//	GET /healthz                          liveness probe
+//	GET /v1/info                          release metadata
+//	GET /v1/marginal?attrs=1,5,9          reconstruct a marginal
+//	GET /v1/marginal?attrs=1,5&method=CLN alternative estimator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"priview/internal/core"
+	"priview/internal/server"
+)
+
+func main() {
+	synPath := flag.String("synopsis", "", "synopsis file from `priview build` (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxK := flag.Int("max-k", 12, "largest marginal size a request may ask for")
+	flag.Parse()
+	if *synPath == "" {
+		fmt.Fprintln(os.Stderr, "priview-serve: -synopsis is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*synPath)
+	if err != nil {
+		log.Fatalf("priview-serve: %v", err)
+	}
+	syn, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("priview-serve: %v", err)
+	}
+	h := server.New(syn, *maxK)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if dg := syn.Design(); dg != nil {
+		log.Printf("serving synopsis %s (ε=%g) on %s", dg.Name(), syn.Epsilon(), *addr)
+	} else {
+		log.Printf("serving synopsis (ε=%g) on %s", syn.Epsilon(), *addr)
+	}
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatalf("priview-serve: %v", err)
+	}
+}

@@ -1,0 +1,53 @@
+package priview_test
+
+import (
+	"fmt"
+
+	"priview"
+)
+
+// Example demonstrates the complete release workflow: wrap records,
+// plan a view set, build the private synopsis, query a marginal.
+func Example() {
+	// Four binary attributes; attributes 0 and 1 always co-occur.
+	records := make([]uint64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			records = append(records, 0b0011)
+		} else {
+			records = append(records, 0b1100)
+		}
+	}
+	data := priview.NewDataset(4, records)
+
+	design := priview.BestDesign(4, 4, 2, 1) // one view covering everything
+	syn := priview.Build(data, priview.Config{Epsilon: 5, Design: design}, 7)
+
+	table := syn.Query([]int{0, 1})
+	closeTo1000 := table.Total() > 950 && table.Total() < 1050
+	fmt.Printf("marginal over {0,1} has %d cells; total within 5%% of N: %v\n",
+		table.Size(), closeTo1000)
+	// Output:
+	// marginal over {0,1} has 4 cells; total within 5% of N: true
+}
+
+// ExamplePlanDesign shows the §4.5 planning step: for Kosarak-scale
+// parameters the planner keeps triple coverage at ε=1 and falls back to
+// pair coverage at ε=0.1.
+func ExamplePlanDesign() {
+	rich := priview.PlanDesign(32, 900000, 1.0, 1)
+	poor := priview.PlanDesign(32, 900000, 0.1, 1)
+	fmt.Printf("eps=1.0: t=%d\neps=0.1: t=%d\n", rich.Design.T, poor.Design.T)
+	// Output:
+	// eps=1.0: t=3
+	// eps=0.1: t=2
+}
+
+// ExampleBestDesign shows the optimal construction for d=32: the
+// GF(2)-subspace cover reproducing the paper's C2(8,20).
+func ExampleBestDesign() {
+	dg := priview.BestDesign(32, 8, 2, 1)
+	fmt.Println(dg.Name())
+	// Output:
+	// C2(8,20)
+}

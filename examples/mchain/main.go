@@ -1,0 +1,47 @@
+// Mchain: how reconstruction quality depends on the correlation
+// structure of the data (the paper's Fig. 5 scenario). Order-i Markov
+// chains couple i+1 consecutive attributes; a pair-covering design
+// guarantees pairs only, so higher orders stress the maximum-entropy
+// step's ability to recover joint structure it never saw directly.
+package main
+
+import (
+	"fmt"
+
+	"priview"
+	"priview/internal/dataset/synth"
+)
+
+func main() {
+	const (
+		d   = 64
+		n   = 100000
+		eps = 1.0
+		k   = 6
+	)
+	design := priview.BestDesign(d, 8, 2, 1) // C2(8,72): the affine/spread optimum
+	fmt.Printf("markov-chain stress test: d=%d, N=%d, ε=%g, design %s\n",
+		d, n, eps, design.Name())
+	fmt.Printf("querying all %d-way marginals over consecutive attributes\n\n", k)
+
+	fmt.Printf("%6s %18s\n", "order", "mean norm. L2 err")
+	for order := 1; order <= 7; order++ {
+		data := synth.MChain(order, n, int64(order))
+		syn := priview.Build(data, priview.Config{Epsilon: eps, Design: design}, int64(100+order))
+		var sum float64
+		count := 0
+		for start := 0; start+k <= d; start += 3 { // subsample for speed
+			attrs := make([]int, k)
+			for i := range attrs {
+				attrs[i] = start + i
+			}
+			truth := data.Marginal(attrs)
+			sum += priview.L2Error(syn.Query(attrs), truth) / float64(n)
+			count++
+		}
+		fmt.Printf("%6d %18.5f\n", order, sum/float64(count))
+	}
+	fmt.Println("\nexpected shape (paper §5.5): order 3 is the hardest — four attributes")
+	fmt.Println("are strongly coupled but only pairs are covered; higher orders spread")
+	fmt.Println("the dependency thin and errors shrink again.")
+}

@@ -1,0 +1,53 @@
+// Searchlog: private release of a categorized search log (AOL-like,
+// d=45 WordNet-style categories). Demonstrates distribution-level
+// evaluation with Jensen–Shannon divergence and reconstruction of
+// topic co-occurrence structure that no single view covers.
+package main
+
+import (
+	"fmt"
+
+	"priview"
+	"priview/internal/dataset/synth"
+)
+
+func main() {
+	data := synth.AOL(150000, 11)
+	const eps = 1.0
+	fmt.Printf("search-log release: d=%d categories, N=%d users, ε=%g\n",
+		data.Dim(), data.Len(), eps)
+
+	plan := priview.PlanDesign(data.Dim(), data.Len(), eps, 2)
+	fmt.Printf("planned design: %s (noise error %.5f)\n\n", plan.Design.Name(), plan.NoiseError)
+	syn := priview.Build(data, priview.Config{Epsilon: eps, Design: plan.Design}, 7)
+
+	// Cross-topic co-occurrence: categories from different latent
+	// topics (see the generator) are unlikely to share a view, so these
+	// marginals exercise maximum-entropy reconstruction.
+	queries := [][]int{
+		{0, 15, 24},         // three topic seeds
+		{3, 20, 36, 40},     // four topics
+		{8, 12, 28, 36, 44}, // five categories across topics
+	}
+	fmt.Println("reconstruction quality on cross-topic marginals:")
+	fmt.Printf("%-22s %14s %14s\n", "categories", "norm. L2 err", "JS divergence")
+	for _, q := range queries {
+		got := syn.Query(q)
+		truth := data.Marginal(q)
+		fmt.Printf("%-22s %14.5f %14.6f\n", fmt.Sprint(q),
+			priview.L2Error(got, truth)/float64(data.Len()),
+			priview.JSDivergence(got, truth))
+	}
+
+	// Conditional structure survives the release: P(category 1 | 0) vs
+	// P(category 1 | not 0) from the private synopsis.
+	pair := syn.Query([]int{0, 1})
+	p1given0 := pair.Cells[3] / (pair.Cells[1] + pair.Cells[3])
+	p1givenNot0 := pair.Cells[2] / (pair.Cells[0] + pair.Cells[2])
+	truthPair := data.Marginal([]int{0, 1})
+	t1given0 := truthPair.Cells[3] / (truthPair.Cells[1] + truthPair.Cells[3])
+	t1givenNot0 := truthPair.Cells[2] / (truthPair.Cells[0] + truthPair.Cells[2])
+	fmt.Printf("\nP(cat1 | cat0):   private %.3f, true %.3f\n", p1given0, t1given0)
+	fmt.Printf("P(cat1 | ¬cat0):  private %.3f, true %.3f\n", p1givenNot0, t1givenNot0)
+	fmt.Println("(same-topic categories remain visibly correlated after the private release)")
+}

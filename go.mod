@@ -1,0 +1,3 @@
+module priview
+
+go 1.22

@@ -1,0 +1,49 @@
+// Package baselines implements every mechanism the paper compares
+// PriView against (§3): Flat, Direct, the Fourier method of Barak et
+// al. (with and without the LP post-process), the Data Cubes reduction,
+// an exact Fourier-diagonal instantiation of the Matrix Mechanism, MWEM
+// with the paper's practical improvements, the learning-based
+// (Thaler–Ullman–Vadhan-style) polynomial approximation, and the
+// Uniform sanity baseline.
+//
+// Every mechanism exposes the same structural interface as a PriView
+// synopsis:
+//
+//	Name() string
+//	Query(attrs []int) *marginal.Table
+//
+// A synopsis is built once per (dataset, ε) configuration; queries are
+// deterministic given the build (noisy values are cached), so asking the
+// same marginal twice returns identical answers, as publishing a real
+// synopsis would.
+package baselines
+
+import (
+	"priview/internal/marginal"
+)
+
+// Synopsis is the common query interface; it matches PriView's own
+// synopsis so the experiment harness can treat all methods uniformly.
+type Synopsis interface {
+	Name() string
+	Query(attrs []int) *marginal.Table
+}
+
+// redistribute applies the post-processing the paper uses for Direct and
+// Fourier in Fig. 2: remove negative values and spread the surplus
+// evenly over all cells so the total is preserved, iterating while new
+// negatives appear.
+func redistribute(t *marginal.Table) {
+	const maxIter = 64
+	for i := 0; i < maxIter; i++ {
+		removed := t.ClampNegatives()
+		if removed == 0 {
+			return
+		}
+		share := removed / float64(t.Size())
+		for j := range t.Cells {
+			t.Cells[j] -= share
+		}
+	}
+	t.ClampNegatives()
+}

@@ -1,0 +1,76 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"priview/internal/dataset"
+	"priview/internal/marginal"
+	"priview/internal/noise"
+)
+
+// MaxFlatDim bounds the dimensionality for which the Flat method is
+// materialized; beyond it the 2^d table is unfeasible (the situation the
+// paper targets) and only the analytic expected error is available.
+const MaxFlatDim = 24
+
+// Flat is the §3.1 baseline: one Laplace-noised full contingency table,
+// from which any marginal is obtained by summation. Exact and simple,
+// but with ESE 2^d·V_u it is only usable for small d.
+type Flat struct {
+	table *marginal.Table
+}
+
+// NewFlat builds the noisy full contingency table with budget eps.
+func NewFlat(data *dataset.Dataset, eps float64, src noise.Source) *Flat {
+	if data.Dim() > MaxFlatDim {
+		panic(fmt.Sprintf("baselines: Flat is unfeasible for d=%d (max %d)", data.Dim(), MaxFlatDim))
+	}
+	full := data.FullContingency()
+	full.AddLaplace(src, noise.LaplaceMechScale(1, eps))
+	return &Flat{table: full}
+}
+
+// Name implements Synopsis.
+func (f *Flat) Name() string { return "Flat" }
+
+// Query implements Synopsis.
+func (f *Flat) Query(attrs []int) *marginal.Table {
+	return f.table.Project(attrs)
+}
+
+// FlatESE returns the expected squared error of the Flat method for a
+// k-way marginal (Eq. 3): 2^d · V_u, independent of k.
+func FlatESE(d int, eps float64) float64 {
+	return math.Pow(2, float64(d)) * noise.UnitVariance(eps)
+}
+
+// FlatExpectedNormalizedL2 returns the expected normalized L2 error
+// sqrt(ESE)/N the paper plots for Flat when d is too large to run it,
+// capped at 1 to account for the improvement non-negativity correction
+// would bring (as done in Fig. 2).
+func FlatExpectedNormalizedL2(d int, eps float64, n int) float64 {
+	v := math.Sqrt(FlatESE(d, eps)) / float64(n)
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// DataCube is the Ding et al. baseline (§3.4). For low-dimensional
+// binary data its view-selection principles choose the full contingency
+// table, making it equivalent to Flat; its lattice algorithms are
+// polynomial in 2^d and cannot scale beyond that. We expose the
+// degenerate case under its own name for the d=9 comparison.
+type DataCube struct {
+	Flat
+}
+
+// NewDataCube builds the Data Cubes baseline (= Flat for binary data
+// with feasible d).
+func NewDataCube(data *dataset.Dataset, eps float64, src noise.Source) *DataCube {
+	return &DataCube{Flat: *NewFlat(data, eps, src)}
+}
+
+// Name implements Synopsis.
+func (dc *DataCube) Name() string { return "DataCube" }

@@ -1,0 +1,86 @@
+package baselines
+
+import (
+	"fmt"
+	"math/bits"
+
+	"priview/internal/dataset"
+	"priview/internal/fourier"
+	"priview/internal/lp"
+	"priview/internal/marginal"
+	"priview/internal/noise"
+)
+
+// MaxFourierLPDim bounds the dimensionality for the FourierLP variant:
+// the linear program has 2^d variables, so it is only feasible for small
+// d — the paper likewise runs it only on MSNBC (d=9).
+const MaxFourierLPDim = 12
+
+// FourierLP is the Barak et al. method with its linear-programming
+// post-process: find a non-negative full contingency table whose
+// coefficients are as close as possible (in max norm) to the noisy
+// published ones, then answer marginals from that table. This guarantees
+// consistency and non-negativity of every reconstructed marginal.
+type FourierLP struct {
+	table *marginal.Table
+}
+
+// NewFourierLP publishes noisy coefficients for all subsets of size ≤ k
+// under budget eps and solves the repair LP.
+func NewFourierLP(data *dataset.Dataset, eps float64, k int, src noise.Source) (*FourierLP, error) {
+	d := data.Dim()
+	if d > MaxFourierLPDim {
+		return nil, fmt.Errorf("baselines: FourierLP unfeasible for d=%d (max %d)", d, MaxFourierLPDim)
+	}
+	// Compute all true coefficients in one transform, then noise the
+	// low-weight ones.
+	full := data.FullContingency()
+	coeffs := fourier.Coefficients(full)
+	masks := fourier.SubsetMasks(d, k)
+	m := len(masks)
+	scale := noise.LaplaceMechScale(float64(m), eps)
+	noisy := make([]float64, m)
+	for i, mask := range masks {
+		noisy[i] = coeffs[mask] + noise.Laplace(src, scale)
+	}
+
+	n := 1 << uint(d)
+	prob := &lp.Problem{
+		NumVars:   n + 1, // cells then τ
+		Objective: make([]float64, n+1),
+	}
+	prob.Objective[n] = 1
+	for i, mask := range masks {
+		le := make([]float64, n+1)
+		ge := make([]float64, n+1)
+		for x := 0; x < n; x++ {
+			sign := 1.0
+			if bits.OnesCount(uint(x&mask))&1 == 1 {
+				sign = -1
+			}
+			le[x] = sign
+			ge[x] = sign
+		}
+		le[n] = -1
+		ge[n] = 1
+		prob.Constraints = append(prob.Constraints,
+			lp.Constraint{Coef: le, Rel: lp.LE, B: noisy[i]},
+			lp.Constraint{Coef: ge, Rel: lp.GE, B: noisy[i]},
+		)
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: FourierLP repair failed: %w", err)
+	}
+	table := marginal.New(data.Attrs())
+	copy(table.Cells, sol.X[:n])
+	return &FourierLP{table: table}, nil
+}
+
+// Name implements Synopsis.
+func (f *FourierLP) Name() string { return "FourierLP" }
+
+// Query implements Synopsis.
+func (f *FourierLP) Query(attrs []int) *marginal.Table {
+	return f.table.Project(attrs)
+}

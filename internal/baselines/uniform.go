@@ -1,0 +1,21 @@
+package baselines
+
+import "priview/internal/marginal"
+
+// Uniform is the paper's sanity baseline: it answers every marginal with
+// the uniform distribution scaled to the dataset size. A method that
+// does not beat Uniform in some setting conveys no information there.
+type Uniform struct {
+	total float64
+}
+
+// NewUniform returns the uniform baseline for a dataset of n records.
+func NewUniform(n int) *Uniform { return &Uniform{total: float64(n)} }
+
+// Name implements Synopsis.
+func (u *Uniform) Name() string { return "Uniform" }
+
+// Query implements Synopsis.
+func (u *Uniform) Query(attrs []int) *marginal.Table {
+	return marginal.Uniform(attrs, u.total)
+}

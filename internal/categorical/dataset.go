@@ -1,0 +1,125 @@
+package categorical
+
+import (
+	"fmt"
+
+	"priview/internal/noise"
+)
+
+// Schema gives the cardinality of each attribute: attribute i takes
+// values in {0, ..., Schema[i]-1}.
+type Schema []int
+
+// Validate checks that every cardinality is at least 2 and the
+// dimensionality is supported.
+func (s Schema) Validate() error {
+	if len(s) == 0 || len(s) > 64 {
+		return fmt.Errorf("categorical: schema has %d attributes (want 1..64)", len(s))
+	}
+	for i, c := range s {
+		if c < 2 {
+			return fmt.Errorf("categorical: attribute %d has cardinality %d (< 2)", i, c)
+		}
+	}
+	return nil
+}
+
+// Dataset is a collection of categorical records conforming to a
+// schema. Records are stored as one byte per attribute (cardinalities
+// up to 256 supported).
+type Dataset struct {
+	schema  Schema
+	records [][]uint8
+}
+
+// NewDataset wraps records under a schema, validating every value.
+func NewDataset(schema Schema, records [][]uint8) (*Dataset, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	for i, c := range schema {
+		if c > 256 {
+			return nil, fmt.Errorf("categorical: attribute %d cardinality %d exceeds 256", i, c)
+		}
+	}
+	for ri, r := range records {
+		if len(r) != len(schema) {
+			return nil, fmt.Errorf("categorical: record %d has %d values, want %d", ri, len(r), len(schema))
+		}
+		for i, v := range r {
+			if int(v) >= schema[i] {
+				return nil, fmt.Errorf("categorical: record %d value %d out of range for attribute %d", ri, v, i)
+			}
+		}
+	}
+	return &Dataset{schema: schema, records: records}, nil
+}
+
+// Schema returns the dataset's schema. Callers must not mutate it.
+func (d *Dataset) Schema() Schema { return d.schema }
+
+// Dim returns the number of attributes.
+func (d *Dataset) Dim() int { return len(d.schema) }
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.records) }
+
+// Marginal computes the exact marginal table over the given attributes.
+func (d *Dataset) Marginal(attrs []int) *Table {
+	sorted := sortedCopy(attrs)
+	cards := make([]int, len(sorted))
+	for i, a := range sorted {
+		if a < 0 || a >= len(d.schema) {
+			panic(fmt.Sprintf("categorical: attribute %d out of range", a))
+		}
+		cards[i] = d.schema[a]
+	}
+	t := NewTable(sorted, cards)
+	values := make([]int, len(sorted))
+	for _, r := range d.records {
+		for j, a := range sorted {
+			values[j] = int(r[a])
+		}
+		t.Cells[t.Index(values)]++
+	}
+	return t
+}
+
+// SynthSurvey generates a survey-like categorical dataset for tests and
+// examples: a handful of latent respondent profiles, each inducing a
+// distribution over every question's answers, so attributes are
+// correlated through the profile.
+func SynthSurvey(schema Schema, n int, seed int64) *Dataset {
+	if err := schema.Validate(); err != nil {
+		panic(err)
+	}
+	rng := noise.NewStream(seed).Derive("survey")
+	const profiles = 4
+	// Per profile and attribute, a random preferred answer; answers are
+	// the preferred one w.p. 0.6, otherwise uniform.
+	pref := make([][]int, profiles)
+	for p := range pref {
+		pref[p] = make([]int, len(schema))
+		for i, c := range schema {
+			pref[p][i] = rng.Intn(c)
+		}
+	}
+	records := make([][]uint8, n)
+	for r := range records {
+		p := rng.Intn(profiles)
+		rec := make([]uint8, len(schema))
+		for i, c := range schema {
+			if rng.Float64() < 0.6 {
+				rec[i] = uint8(pref[p][i])
+			} else {
+				rec[i] = uint8(rng.Intn(c))
+			}
+		}
+		records[r] = rec
+	}
+	d, err := NewDataset(schema, records)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,128 @@
+package categorical
+
+// MaxEnt reconstructs the maximum-entropy marginal over the given
+// attributes (with cardinalities from the schema) subject to the
+// constraint marginals, by iterative proportional fitting — the direct
+// generalization of the binary reconstruction (§4.3 applied as §4.7
+// prescribes).
+func MaxEnt(attrs, cards []int, total float64, cons []*Table, maxIter int, tol float64) *Table {
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	t := NewTable(attrs, cards)
+	if total <= 0 {
+		return t
+	}
+	t.Fill(total / float64(t.Size()))
+	cons = maximalConstraints(cons)
+	if len(cons) == 0 {
+		return t
+	}
+	type prepared struct {
+		target *Table
+		pos    []int
+	}
+	prep := make([]prepared, len(cons))
+	for i, c := range cons {
+		s := c.Clone()
+		// Sanitize: clamp negatives, rescale to the common total.
+		sum := 0.0
+		for j, v := range s.Cells {
+			if v < 0 {
+				s.Cells[j] = 0
+			} else {
+				sum += v
+			}
+		}
+		if sum > 0 {
+			s.Scale(total / sum)
+		} else {
+			s.Fill(total / float64(s.Size()))
+		}
+		prep[i] = prepared{target: s, pos: t.positions(s.Attrs)}
+	}
+	absTol := tol * total
+	for iter := 0; iter < maxIter; iter++ {
+		worst := 0.0
+		for _, p := range prep {
+			proj := make([]float64, p.target.Size())
+			for ci, v := range t.Cells {
+				proj[t.restrictIndex(ci, p.pos, p.target.strides)] += v
+			}
+			for ci := range t.Cells {
+				b := t.restrictIndex(ci, p.pos, p.target.strides)
+				cur, want := proj[b], p.target.Cells[b]
+				if d := abs(cur - want); d > worst {
+					worst = d
+				}
+				switch {
+				case cur > 0:
+					t.Cells[ci] *= want / cur
+				case want > 0:
+					t.Cells[ci] = want * float64(p.target.Size()) / float64(t.Size())
+				default:
+					t.Cells[ci] = 0
+				}
+			}
+		}
+		if worst < absTol {
+			break
+		}
+	}
+	return t
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// maximalConstraints drops constraints whose attribute set is contained
+// in another constraint's, and averages exact-duplicate sets.
+func maximalConstraints(cons []*Table) []*Table {
+	byKey := map[string][]*Table{}
+	var order []string
+	key := func(attrs []int) string {
+		b := make([]byte, 0, len(attrs)*3)
+		for _, a := range attrs {
+			b = append(b, byte(a), ',')
+		}
+		return string(b)
+	}
+	for _, c := range cons {
+		k := key(c.Attrs)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], c)
+	}
+	merged := make([]*Table, 0, len(order))
+	for _, k := range order {
+		group := byKey[k]
+		avg := group[0].Clone()
+		for _, c := range group[1:] {
+			avg.AddInto(c)
+		}
+		avg.Scale(1 / float64(len(group)))
+		merged = append(merged, avg)
+	}
+	var out []*Table
+	for i, c := range merged {
+		maximal := true
+		for j, o := range merged {
+			if i != j && len(o.Attrs) > len(c.Attrs) && subsetOf(c.Attrs, o.Attrs) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, c)
+		}
+	}
+	return out
+}

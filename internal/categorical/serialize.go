@@ -1,0 +1,83 @@
+package categorical
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// synopsisFile is the on-disk JSON form of a categorical synopsis.
+type synopsisFile struct {
+	Format  string     `json:"format"`
+	Epsilon float64    `json:"epsilon"`
+	Total   float64    `json:"total"`
+	Schema  []int      `json:"schema"`
+	Views   []viewFile `json:"views"`
+}
+
+type viewFile struct {
+	Attrs []int     `json:"attrs"`
+	Cards []int     `json:"cards"`
+	Cells []float64 `json:"cells"`
+}
+
+const synopsisFormat = "priview-categorical-synopsis-v1"
+
+// Save serializes the synopsis as JSON (post-processed views only).
+func (s *Synopsis) Save(w io.Writer) error {
+	f := synopsisFile{
+		Format:  synopsisFormat,
+		Epsilon: s.cfg.Epsilon,
+		Total:   s.total,
+		Schema:  s.schema,
+	}
+	for _, v := range s.views {
+		f.Views = append(f.Views, viewFile{Attrs: v.Attrs, Cards: v.Cards, Cells: v.Cells})
+	}
+	return json.NewEncoder(w).Encode(&f)
+}
+
+// Load reads a synopsis previously written with Save.
+func Load(r io.Reader) (*Synopsis, error) {
+	var f synopsisFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("categorical: decoding synopsis: %w", err)
+	}
+	if f.Format != synopsisFormat {
+		return nil, fmt.Errorf("categorical: unknown synopsis format %q", f.Format)
+	}
+	schema := Schema(f.Schema)
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if len(f.Views) == 0 {
+		return nil, fmt.Errorf("categorical: synopsis has no views")
+	}
+	views := make([]*Table, len(f.Views))
+	for i, vf := range f.Views {
+		if len(vf.Attrs) != len(vf.Cards) {
+			return nil, fmt.Errorf("categorical: view %d attrs/cards misaligned", i)
+		}
+		t := NewTable(vf.Attrs, vf.Cards)
+		if len(vf.Cells) != t.Size() {
+			return nil, fmt.Errorf("categorical: view %d has %d cells, want %d", i, len(vf.Cells), t.Size())
+		}
+		// Cross-check cards against the schema.
+		for j, a := range t.Attrs {
+			if a < 0 || a >= len(schema) {
+				return nil, fmt.Errorf("categorical: view %d attribute %d out of schema range", i, a)
+			}
+			if t.Cards[j] != schema[a] {
+				return nil, fmt.Errorf("categorical: view %d attribute %d has cardinality %d, schema says %d", i, a, t.Cards[j], schema[a])
+			}
+		}
+		copy(t.Cells, vf.Cells)
+		views[i] = t
+	}
+	return &Synopsis{
+		cfg:    Config{Epsilon: f.Epsilon},
+		schema: schema,
+		views:  views,
+		total:  f.Total,
+	}, nil
+}

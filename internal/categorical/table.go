@@ -1,0 +1,260 @@
+// Package categorical implements the paper's §4.7 extension of PriView
+// to non-binary categorical attributes. Marginal tables become
+// mixed-radix (one dimension per attribute, with per-attribute
+// cardinality); the consistency and maximum-entropy machinery carries
+// over directly; Ripple non-negativity pulls from cells differing in a
+// single attribute *value* rather than a flipped bit; and view selection
+// bounds the number of cells per view (s) instead of the attribute
+// count, per the paper's guideline table.
+package categorical
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Table is a marginal contingency table over categorical attributes.
+// Cell indexing is mixed-radix: with attributes a_0 < a_1 < ... and
+// cardinalities c_0, c_1, ..., the cell for values (v_0, v_1, ...) is
+// v_0 + v_1·c_0 + v_2·c_0·c_1 + ....
+type Table struct {
+	// Attrs lists the attributes, sorted ascending.
+	Attrs []int
+	// Cards holds the cardinality of each attribute, aligned to Attrs.
+	Cards []int
+	// Cells holds one count per value combination.
+	Cells []float64
+	// strides[j] is the index step for attribute j.
+	strides []int
+}
+
+// NewTable returns a zeroed table over the given attributes and
+// cardinalities (aligned pairwise; both are copied and co-sorted by
+// attribute).
+func NewTable(attrs, cards []int) *Table {
+	if len(attrs) != len(cards) {
+		panic("categorical: attrs and cards must align")
+	}
+	idx := make([]int, len(attrs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return attrs[idx[a]] < attrs[idx[b]] })
+	sa := make([]int, len(attrs))
+	sc := make([]int, len(attrs))
+	for i, j := range idx {
+		sa[i] = attrs[j]
+		sc[i] = cards[j]
+	}
+	for i := range sa {
+		if sc[i] < 2 {
+			panic(fmt.Sprintf("categorical: attribute %d has cardinality %d (< 2)", sa[i], sc[i]))
+		}
+		if i > 0 && sa[i] == sa[i-1] {
+			panic(fmt.Sprintf("categorical: duplicate attribute %d", sa[i]))
+		}
+	}
+	size := 1
+	strides := make([]int, len(sa))
+	for i := range sa {
+		strides[i] = size
+		size *= sc[i]
+		if size > 1<<24 {
+			panic("categorical: table too large")
+		}
+	}
+	return &Table{Attrs: sa, Cards: sc, Cells: make([]float64, size), strides: strides}
+}
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	return &Table{
+		Attrs:   append([]int(nil), t.Attrs...),
+		Cards:   append([]int(nil), t.Cards...),
+		Cells:   append([]float64(nil), t.Cells...),
+		strides: append([]int(nil), t.strides...),
+	}
+}
+
+// Dim returns the number of attributes.
+func (t *Table) Dim() int { return len(t.Attrs) }
+
+// Size returns the number of cells.
+func (t *Table) Size() int { return len(t.Cells) }
+
+// Total returns the sum of all cells.
+func (t *Table) Total() float64 {
+	s := 0.0
+	for _, v := range t.Cells {
+		s += v
+	}
+	return s
+}
+
+// Scale multiplies every cell by f.
+func (t *Table) Scale(f float64) {
+	for i := range t.Cells {
+		t.Cells[i] *= f
+	}
+}
+
+// Fill sets every cell to v.
+func (t *Table) Fill(v float64) {
+	for i := range t.Cells {
+		t.Cells[i] = v
+	}
+}
+
+// Index returns the cell index for the given attribute values (aligned
+// with Attrs).
+func (t *Table) Index(values []int) int {
+	if len(values) != len(t.Attrs) {
+		panic("categorical: value vector length mismatch")
+	}
+	idx := 0
+	for j, v := range values {
+		if v < 0 || v >= t.Cards[j] {
+			panic(fmt.Sprintf("categorical: value %d out of range for attribute %d (card %d)", v, t.Attrs[j], t.Cards[j]))
+		}
+		idx += v * t.strides[j]
+	}
+	return idx
+}
+
+// Values decodes a cell index into attribute values (inverse of Index).
+func (t *Table) Values(idx int) []int {
+	out := make([]int, len(t.Attrs))
+	for j := range t.Attrs {
+		out[j] = (idx / t.strides[j]) % t.Cards[j]
+	}
+	return out
+}
+
+// positions maps each attribute of sub to its coordinate within t,
+// panicking on attributes t does not cover.
+func (t *Table) positions(sub []int) []int {
+	pos := make([]int, len(sub))
+	for i, a := range sub {
+		j := sort.SearchInts(t.Attrs, a)
+		if j >= len(t.Attrs) || t.Attrs[j] != a {
+			panic(fmt.Sprintf("categorical: attribute %d not in table over %v", a, t.Attrs))
+		}
+		pos[i] = j
+	}
+	return pos
+}
+
+// restrictIndex maps a cell index of t to the index in a table over the
+// sub-attributes at coordinate positions pos (ascending), with strides
+// subStrides.
+func (t *Table) restrictIndex(idx int, pos, subStrides []int) int {
+	out := 0
+	for j, p := range pos {
+		out += ((idx / t.strides[p]) % t.Cards[p]) * subStrides[j]
+	}
+	return out
+}
+
+// Project returns the marginal over sub ⊆ Attrs.
+func (t *Table) Project(sub []int) *Table {
+	pos := t.positions(sortedCopy(sub))
+	cards := make([]int, len(pos))
+	attrs := make([]int, len(pos))
+	for i, p := range pos {
+		attrs[i] = t.Attrs[p]
+		cards[i] = t.Cards[p]
+	}
+	out := NewTable(attrs, cards)
+	for i, v := range t.Cells {
+		out.Cells[out.restrictSelfIndex(t, i, pos)] += v
+	}
+	return out
+}
+
+// restrictSelfIndex is Project's inner index map using out's strides.
+func (out *Table) restrictSelfIndex(src *Table, idx int, pos []int) int {
+	o := 0
+	for j, p := range pos {
+		o += ((idx / src.strides[p]) % src.Cards[p]) * out.strides[j]
+	}
+	return o
+}
+
+func sortedCopy(s []int) []int {
+	c := append([]int(nil), s...)
+	sort.Ints(c)
+	return c
+}
+
+// AddInto adds src into t; attribute sets must match.
+func (t *Table) AddInto(src *Table) {
+	if !sameInts(t.Attrs, src.Attrs) {
+		panic("categorical: AddInto over mismatched attributes")
+	}
+	for i := range t.Cells {
+		t.Cells[i] += src.Cells[i]
+	}
+}
+
+// L2Distance returns the Euclidean distance between two tables over the
+// same attributes.
+func L2Distance(a, b *Table) float64 {
+	if !sameInts(a.Attrs, b.Attrs) {
+		panic("categorical: L2Distance over mismatched attributes")
+	}
+	s := 0.0
+	for i := range a.Cells {
+		d := a.Cells[i] - b.Cells[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetOf reports whether sorted a ⊆ sorted b.
+func subsetOf(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// intersect returns the sorted intersection of two sorted slices.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+// Package consistency implements PriView's constrained-inference
+// post-processing (§4.4 of the paper): making a collection of noisy view
+// marginal tables mutually consistent on every shared attribute subset,
+// and correcting negative entries with the Ripple method (and the
+// Simple/Global alternatives evaluated in Fig. 4).
+package consistency
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"priview/internal/marginal"
+)
+
+// MutualOnSet enforces consistency of the given views on the attribute
+// set A, which must be a subset of every view's attributes. It computes
+// the common estimate as the arithmetic mean of the views' projections
+// onto A — variance-minimizing when all views have the same size, the
+// paper's §4.4 assumption — and updates every view additively so its
+// projection onto A equals that estimate, leaving its marginals over
+// attributes outside A untouched (Lemma 1). It returns the agreed
+// estimate.
+func MutualOnSet(views []*marginal.Table, a []int) *marginal.Table {
+	return MutualOnSetWeighted(views, a, nil)
+}
+
+// MutualOnSetWeighted is MutualOnSet with explicit non-negative
+// averaging weights (nil means uniform). When view sizes differ, the
+// projection of a larger view onto A sums more noisy cells and so
+// carries more noise; weights ∝ 2^{-|V_i|} (see VarianceWeights) give
+// the minimum-variance combination.
+func MutualOnSetWeighted(views []*marginal.Table, a []int, weights []float64) *marginal.Table {
+	if len(views) == 0 {
+		panic("consistency: no views")
+	}
+	if weights != nil && len(weights) != len(views) {
+		panic("consistency: weights must align with views")
+	}
+	est := marginal.New(a)
+	projections := make([]*marginal.Table, len(views))
+	wSum := 0.0
+	for i, v := range views {
+		projections[i] = v.Project(a)
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+			if w < 0 {
+				panic("consistency: negative weight")
+			}
+		}
+		wSum += w
+		for c := range est.Cells {
+			est.Cells[c] += w * projections[i].Cells[c]
+		}
+	}
+	if wSum <= 0 {
+		panic("consistency: weights sum to zero")
+	}
+	est.Scale(1 / wSum)
+	for i, v := range views {
+		applyEstimate(v, est, projections[i])
+	}
+	return est
+}
+
+// VarianceWeights returns averaging weights for views with homogeneous
+// per-cell noise: a view over |V_i| attributes projects onto A by
+// summing 2^{|V_i|-|A|} cells, giving projection variance ∝ 2^{|V_i|},
+// so the inverse-variance weight is 2^{-|V_i|} (the common 2^{-|A|}
+// factor cancels in normalization).
+func VarianceWeights(views []*marginal.Table) []float64 {
+	w := make([]float64, len(views))
+	for i, v := range views {
+		w[i] = 1 / float64(int(1)<<uint(v.Dim()))
+	}
+	return w
+}
+
+// applyEstimate updates view so its projection on est.Attrs equals est,
+// distributing each cell's correction evenly over the view cells that
+// project to it: T(c) += (est(a) − proj(a)) / 2^{|V|−|A|}.
+func applyEstimate(view, est, proj *marginal.Table) {
+	pos := view.Positions(est.Attrs)
+	share := 1 / float64(int(1)<<uint(view.Dim()-est.Dim()))
+	// Precompute per-restricted-index correction.
+	corr := make([]float64, len(est.Cells))
+	for i := range est.Cells {
+		corr[i] = (est.Cells[i] - proj.Cells[i]) * share
+	}
+	for c := range view.Cells {
+		view.Cells[c] += corr[marginal.RestrictIndex(c, pos)]
+	}
+}
+
+// Overall makes all views mutually consistent (Definition 2): for every
+// pair V_i, V_j, the projections onto V_i ∩ V_j agree. It computes the
+// closure of the view attribute sets under intersection, orders it by a
+// linear extension of the subset partial order (size ascending, so the
+// empty set — total-count consistency — comes first), and runs
+// MutualOnSet for each closure set over the views containing it. By
+// Lemma 1, later steps never invalidate earlier ones.
+//
+// Attribute indices must be below 64 (the dataset package's limit): the
+// closure computation packs attribute sets into machine words.
+func Overall(views []*marginal.Table) {
+	overall(views, false)
+}
+
+// OverallWeighted is Overall with inverse-variance averaging at each
+// mutual-consistency step (see VarianceWeights) — identical to Overall
+// when all views have the same size, strictly lower-variance when a
+// design mixes block sizes.
+func OverallWeighted(views []*marginal.Table) {
+	overall(views, true)
+}
+
+func overall(views []*marginal.Table, weighted bool) {
+	if len(views) < 2 {
+		return
+	}
+	viewMasks := make([]uint64, len(views))
+	for i, v := range views {
+		viewMasks[i] = attrsToMask(v.Attrs)
+	}
+	sets := intersectionClosure(viewMasks)
+	group := make([]*marginal.Table, 0, len(views))
+	for _, mask := range sets {
+		group = group[:0]
+		for i, vm := range viewMasks {
+			if mask&vm == mask {
+				group = append(group, views[i])
+			}
+		}
+		if len(group) >= 2 {
+			if weighted {
+				MutualOnSetWeighted(group, maskToAttrs(mask), VarianceWeights(group))
+			} else {
+				MutualOnSet(group, maskToAttrs(mask))
+			}
+		}
+	}
+}
+
+func attrsToMask(attrs []int) uint64 {
+	var m uint64
+	for _, a := range attrs {
+		if a < 0 || a >= 64 {
+			panic(fmt.Sprintf("consistency: attribute %d out of mask range", a))
+		}
+		m |= 1 << uint(a)
+	}
+	return m
+}
+
+func maskToAttrs(mask uint64) []int {
+	attrs := make([]int, 0, bits.OnesCount64(mask))
+	for mask != 0 {
+		b := bits.TrailingZeros64(mask)
+		attrs = append(attrs, b)
+		mask &= mask - 1
+	}
+	return attrs
+}
+
+// intersectionClosure returns every attribute set expressible as an
+// intersection of one or more view sets, as bitmasks, always including
+// the empty set (total-count consistency). The result is sorted by
+// popcount ascending (ties by numeric value), a valid topological order
+// of the subset relation. Only sets contained in at least two views are
+// kept (others have nothing to reconcile), except ∅ which is kept
+// unconditionally.
+func intersectionClosure(viewMasks []uint64) []uint64 {
+	closure := map[uint64]struct{}{}
+	var members, work []uint64
+	push := func(m uint64) {
+		if _, ok := closure[m]; !ok {
+			closure[m] = struct{}{}
+			members = append(members, m)
+			work = append(work, m)
+		}
+	}
+	push(0)
+	for _, vm := range viewMasks {
+		push(vm)
+	}
+	// Fixpoint: intersect every work item against all known members.
+	// Members only grow, and every pair is eventually intersected, so
+	// the result is closed under intersection.
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for i := 0; i < len(members); i++ {
+			push(cur & members[i])
+		}
+	}
+	out := make([]uint64, 0, len(closure))
+	for m := range closure {
+		if m == 0 {
+			out = append(out, m)
+			continue
+		}
+		n := 0
+		for _, vm := range viewMasks {
+			if m&vm == m {
+				n++
+				if n == 2 {
+					break
+				}
+			}
+		}
+		if n >= 2 {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := bits.OnesCount64(out[i]), bits.OnesCount64(out[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// IsPairwiseConsistent reports whether every pair of views agrees on the
+// projection onto their common attributes to within tol.
+func IsPairwiseConsistent(views []*marginal.Table, tol float64) bool {
+	for i := 0; i < len(views); i++ {
+		for j := i + 1; j < len(views); j++ {
+			common := marginal.Intersect(views[i].Attrs, views[j].Attrs)
+			pi := views[i].Project(common)
+			pj := views[j].Project(common)
+			if !marginal.Equal(pi, pj, tol) {
+				return false
+			}
+		}
+	}
+	return true
+}

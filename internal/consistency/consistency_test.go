@@ -1,0 +1,471 @@
+package consistency
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"priview/internal/marginal"
+	"priview/internal/noise"
+)
+
+// TestPaperWorkedExample reproduces the §4.4 worked example: views over
+// {a1,a2} and {a1,a3} made consistent on {a1}.
+func TestPaperWorkedExample(t *testing.T) {
+	const a1, a2, a3 = 1, 2, 3
+	v1 := marginal.New([]int{a1, a2})
+	// Index bit0 = a1, bit1 = a2.
+	v1.Cells[0b00] = 0.3 // a1=0, a2=0
+	v1.Cells[0b01] = 0.3 // a1=1, a2=0
+	v1.Cells[0b10] = 0.3 // a1=0, a2=1
+	v1.Cells[0b11] = 0.1
+	v2 := marginal.New([]int{a1, a3})
+	v2.Cells[0b00] = 0.2
+	v2.Cells[0b01] = 0.1
+	v2.Cells[0b10] = 0.3
+	v2.Cells[0b11] = 0.4
+
+	est := MutualOnSet([]*marginal.Table{v1, v2}, []int{a1})
+	if math.Abs(est.Cells[0]-0.55) > 1e-12 || math.Abs(est.Cells[1]-0.45) > 1e-12 {
+		t.Fatalf("estimate = %v, want [0.55 0.45]", est.Cells)
+	}
+	// V1 after: a1=0 cells gain -0.025, a1=1 cells gain +0.025.
+	wantV1 := []float64{0.275, 0.325, 0.275, 0.125}
+	for i := range wantV1 {
+		if math.Abs(v1.Cells[i]-wantV1[i]) > 1e-12 {
+			t.Errorf("v1.Cells[%d] = %v, want %v", i, v1.Cells[i], wantV1[i])
+		}
+	}
+	wantV2 := []float64{0.225, 0.075, 0.325, 0.375}
+	for i := range wantV2 {
+		if math.Abs(v2.Cells[i]-wantV2[i]) > 1e-12 {
+			t.Errorf("v2.Cells[%d] = %v, want %v", i, v2.Cells[i], wantV2[i])
+		}
+	}
+	// Projections on the attributes not involved are unchanged.
+	p2 := v1.Project([]int{a2})
+	if math.Abs(p2.Cells[0]-0.6) > 1e-12 || math.Abs(p2.Cells[1]-0.4) > 1e-12 {
+		t.Errorf("v1 projected on a2 = %v, want [0.6 0.4]", p2.Cells)
+	}
+	p3 := v2.Project([]int{a3})
+	if math.Abs(p3.Cells[0]-0.3) > 1e-12 || math.Abs(p3.Cells[1]-0.7) > 1e-12 {
+		t.Errorf("v2 projected on a3 = %v, want [0.3 0.7]", p3.Cells)
+	}
+	// And the two views now agree on a1.
+	if !IsPairwiseConsistent([]*marginal.Table{v1, v2}, 1e-12) {
+		t.Error("views not consistent after MutualOnSet")
+	}
+}
+
+func randomView(r *rand.Rand, attrs []int, total float64) *marginal.Table {
+	v := marginal.New(attrs)
+	sum := 0.0
+	for i := range v.Cells {
+		v.Cells[i] = r.Float64()
+		sum += v.Cells[i]
+	}
+	v.Scale(total / sum)
+	return v
+}
+
+// Property (Lemma 1): after enforcing consistency on A, a further
+// consistency step on B ⊇ A between the same views leaves each view's
+// projection onto attributes outside B, and onto A itself, unchanged.
+func TestLemma1(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v1 := randomView(r, []int{0, 1, 2, 3}, 100)
+		v2 := randomView(r, []int{1, 2, 4, 5}, 100)
+		views := []*marginal.Table{v1, v2}
+		MutualOnSet(views, []int{1}) // consistent on A = {1}
+		beforeA := v1.Project([]int{1})
+		beforeOut := v1.Project([]int{0, 3}) // subset of (V1 \ V2) ∪ A
+		MutualOnSet(views, []int{1, 2})      // B = V1 ∩ V2 ⊇ A
+		afterA := v1.Project([]int{1})
+		afterOut := v1.Project([]int{0, 3})
+		return marginal.Equal(beforeA, afterA, 1e-9) &&
+			marginal.Equal(beforeOut, afterOut, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MutualOnSet equalizes totals (consistency on ∅ follows from
+// consistency on any A) and preserves the group's mean total.
+func TestMutualPreservesMeanTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v1 := randomView(r, []int{0, 1, 2}, 90+20*r.Float64())
+		v2 := randomView(r, []int{1, 2, 3}, 90+20*r.Float64())
+		v3 := randomView(r, []int{1, 2, 5, 6}, 90+20*r.Float64())
+		mean := (v1.Total() + v2.Total() + v3.Total()) / 3
+		MutualOnSet([]*marginal.Table{v1, v2, v3}, []int{1, 2})
+		return math.Abs(v1.Total()-mean) < 1e-9 &&
+			math.Abs(v2.Total()-mean) < 1e-9 &&
+			math.Abs(v3.Total()-mean) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Overall achieves Definition 2 pairwise consistency for
+// arbitrary overlapping noisy view sets.
+func TestOverallAchievesPairwiseConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		attrSets := [][]int{
+			{0, 1, 2, 3}, {2, 3, 4, 5}, {0, 4, 5, 6}, {1, 3, 5, 7}, {0, 2, 6, 7},
+		}
+		views := make([]*marginal.Table, len(attrSets))
+		for i, a := range attrSets {
+			views[i] = randomView(r, a, 100)
+		}
+		Overall(views)
+		return IsPairwiseConsistent(views, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverallWithDisjointViews(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v1 := randomView(r, []int{0, 1}, 100)
+	v2 := randomView(r, []int{2, 3}, 110)
+	Overall([]*marginal.Table{v1, v2})
+	// Only the empty intersection is shared: totals must be reconciled.
+	if math.Abs(v1.Total()-105) > 1e-9 || math.Abs(v2.Total()-105) > 1e-9 {
+		t.Errorf("totals = %v, %v; want both 105", v1.Total(), v2.Total())
+	}
+}
+
+func TestOverallWithNestedViews(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	big := randomView(r, []int{0, 1, 2}, 100)
+	small := randomView(r, []int{1, 2}, 120)
+	Overall([]*marginal.Table{big, small})
+	if !IsPairwiseConsistent([]*marginal.Table{big, small}, 1e-9) {
+		t.Error("nested views inconsistent after Overall")
+	}
+}
+
+func TestOverallSingleViewNoop(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	v := randomView(r, []int{0, 1}, 50)
+	orig := v.Clone()
+	Overall([]*marginal.Table{v})
+	if !marginal.Equal(v, orig, 0) {
+		t.Error("Overall mutated a single view")
+	}
+}
+
+// Overall consistency improves accuracy: averaging redundant noisy
+// observations of the same marginal must reduce error vs. the truth.
+func TestOverallImprovesAccuracy(t *testing.T) {
+	src := noise.NewStream(12)
+	// Truth: three views over identical attributes (maximal redundancy).
+	truth := marginal.New([]int{0, 1, 2})
+	for i := range truth.Cells {
+		truth.Cells[i] = 100 + 10*float64(i)
+	}
+	var errBefore, errAfter float64
+	const reps = 40
+	for rep := 0; rep < reps; rep++ {
+		views := []*marginal.Table{
+			truth.NoisyCopy(src, 10),
+			truth.NoisyCopy(src, 10),
+			truth.NoisyCopy(src, 10),
+		}
+		for _, v := range views {
+			errBefore += marginal.L2Distance(v, truth)
+		}
+		Overall(views)
+		for _, v := range views {
+			errAfter += marginal.L2Distance(v, truth)
+		}
+	}
+	if errAfter >= errBefore*0.75 {
+		t.Errorf("consistency did not average out noise: before=%v after=%v", errBefore, errAfter)
+	}
+}
+
+func TestIntersectionClosureContainsPairwise(t *testing.T) {
+	masks := []uint64{
+		attrsToMask([]int{0, 1, 2}),
+		attrsToMask([]int{1, 2, 3}),
+		attrsToMask([]int{2, 3, 4}),
+	}
+	sets := intersectionClosure(masks)
+	found := map[uint64]bool{}
+	for _, s := range sets {
+		found[s] = true
+	}
+	// Pairwise intersections contained in ≥2 views, plus ∅.
+	for _, want := range [][]int{{1, 2}, {2, 3}, {2}, nil} {
+		if !found[attrsToMask(want)] {
+			t.Errorf("closure missing %v (have %v)", want, sets)
+		}
+	}
+	// Sorted ascending by size.
+	for i := 1; i < len(sets); i++ {
+		if popcount64(sets[i]) < popcount64(sets[i-1]) {
+			t.Error("closure not sorted by size")
+		}
+	}
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestMaskRoundTrip(t *testing.T) {
+	attrs := []int{0, 5, 17, 63}
+	got := maskToAttrs(attrsToMask(attrs))
+	if len(got) != len(attrs) {
+		t.Fatalf("round trip = %v", got)
+	}
+	for i := range attrs {
+		if got[i] != attrs[i] {
+			t.Fatalf("round trip = %v, want %v", got, attrs)
+		}
+	}
+}
+
+func TestAttrsToMaskRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for attribute 64")
+		}
+	}()
+	attrsToMask([]int{64})
+}
+
+func TestRippleClearsNegatives(t *testing.T) {
+	tab := marginal.New([]int{0, 1, 2})
+	tab.Cells = []float64{10, -5, 8, 2, -3, 7, 1, 4}
+	total := tab.Total()
+	Ripple(tab, 0.5)
+	if math.Abs(tab.Total()-total) > 1e-9 {
+		t.Errorf("Ripple changed total: %v -> %v", total, tab.Total())
+	}
+	for i, v := range tab.Cells {
+		if v < -0.5 {
+			t.Errorf("cell %d = %v still below -θ", i, v)
+		}
+	}
+}
+
+func TestRipplePreservesNonnegativeTable(t *testing.T) {
+	tab := marginal.New([]int{0, 1})
+	tab.Cells = []float64{1, 2, 3, 4}
+	orig := tab.Clone()
+	Ripple(tab, 0.5)
+	if !marginal.Equal(tab, orig, 0) {
+		t.Error("Ripple modified a non-negative table")
+	}
+}
+
+func TestRippleHeavyNegativity(t *testing.T) {
+	// Mostly negative table: ripple must terminate and preserve total.
+	tab := marginal.New([]int{0, 1, 2, 3})
+	for i := range tab.Cells {
+		tab.Cells[i] = -10
+	}
+	tab.Cells[0] = 500
+	total := tab.Total()
+	Ripple(tab, 0.5)
+	if math.Abs(tab.Total()-total) > 1e-6 {
+		t.Errorf("total changed: %v -> %v", total, tab.Total())
+	}
+	for i, v := range tab.Cells {
+		if v < -0.5 {
+			t.Errorf("cell %d = %v below -θ after ripple", i, v)
+		}
+	}
+}
+
+func TestRipplePanicsOnBadTheta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for θ <= 0")
+		}
+	}()
+	Ripple(marginal.New([]int{0}), 0)
+}
+
+func TestRippleZeroWayTable(t *testing.T) {
+	tab := marginal.New(nil)
+	tab.Cells[0] = -3
+	Ripple(tab, 0.5) // must not panic or loop
+	if tab.Cells[0] != -3 {
+		t.Error("0-way ripple should be a no-op")
+	}
+}
+
+func TestGlobalPreservesTotal(t *testing.T) {
+	tab := marginal.New([]int{0, 1, 2})
+	tab.Cells = []float64{10, -5, 8, 2, -3, 7, 1, 4}
+	total := tab.Total()
+	Global(tab)
+	if math.Abs(tab.Total()-total) > 1e-9 {
+		t.Errorf("Global changed total: %v -> %v", total, tab.Total())
+	}
+	for i, v := range tab.Cells {
+		if v < 0 {
+			t.Errorf("cell %d = %v negative after Global", i, v)
+		}
+	}
+}
+
+func TestGlobalAllNegative(t *testing.T) {
+	tab := marginal.New([]int{0, 1})
+	tab.Cells = []float64{-1, -2, -3, -4}
+	Global(tab) // must terminate; table becomes all zero
+	for i, v := range tab.Cells {
+		if v != 0 {
+			t.Errorf("cell %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestApplyDispatch(t *testing.T) {
+	mk := func() *marginal.Table {
+		tab := marginal.New([]int{0, 1})
+		tab.Cells = []float64{5, -2, 3, 1}
+		return tab
+	}
+	none := mk()
+	Apply(NonnegNone, none, DefaultRippleTheta)
+	if none.Cells[1] != -2 {
+		t.Error("None modified the table")
+	}
+	simple := mk()
+	Apply(NonnegSimple, simple, DefaultRippleTheta)
+	if simple.Cells[1] != 0 || math.Abs(simple.Total()-9) > 1e-12 {
+		t.Errorf("Simple: cells=%v total=%v", simple.Cells, simple.Total())
+	}
+	global := mk()
+	Apply(NonnegGlobal, global, DefaultRippleTheta)
+	if math.Abs(global.Total()-7) > 1e-9 {
+		t.Errorf("Global total = %v, want 7", global.Total())
+	}
+	ripple := mk()
+	Apply(NonnegRipple, ripple, DefaultRippleTheta)
+	if math.Abs(ripple.Total()-7) > 1e-9 {
+		t.Errorf("Ripple total = %v, want 7", ripple.Total())
+	}
+}
+
+func TestNonnegMethodString(t *testing.T) {
+	cases := map[NonnegMethod]string{
+		NonnegNone: "None", NonnegSimple: "Simple",
+		NonnegGlobal: "Global", NonnegRipple: "Ripple",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+// Ripple avoids the systematic bias Simple introduces: on a table with
+// many true-zero cells plus noise, the reconstructed total should stay
+// near the truth, while Simple inflates it.
+func TestRippleAvoidsClampingBias(t *testing.T) {
+	src := noise.NewStream(77)
+	truth := marginal.New([]int{0, 1, 2, 3, 4, 5})
+	truth.Cells[0] = 640 // all mass in one cell; the rest are zero
+	var simpleBias, rippleBias float64
+	const reps = 60
+	for rep := 0; rep < reps; rep++ {
+		a := truth.NoisyCopy(src, 8)
+		b := a.Clone()
+		Apply(NonnegSimple, a, DefaultRippleTheta)
+		Apply(NonnegRipple, b, DefaultRippleTheta)
+		simpleBias += a.Total() - truth.Total()
+		rippleBias += b.Total() - truth.Total()
+	}
+	simpleBias /= reps
+	rippleBias /= reps
+	if simpleBias < 50 {
+		t.Logf("note: expected Simple to inflate totals, got bias %v", simpleBias)
+	}
+	if math.Abs(rippleBias) > simpleBias/2 {
+		t.Errorf("Ripple bias %v not clearly smaller than Simple bias %v", rippleBias, simpleBias)
+	}
+}
+
+func TestWeightedEqualsUniformForEqualSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(80))
+	mk := func(attrs []int) *marginal.Table {
+		v := randomView(r, attrs, 100)
+		return v
+	}
+	a1 := mk([]int{0, 1, 2})
+	a2 := mk([]int{1, 2, 3})
+	b1 := a1.Clone()
+	b2 := a2.Clone()
+	Overall([]*marginal.Table{a1, a2})
+	OverallWeighted([]*marginal.Table{b1, b2})
+	if !marginal.Equal(a1, b1, 1e-9) || !marginal.Equal(a2, b2, 1e-9) {
+		t.Error("weighted consistency differs from uniform for equal-size views")
+	}
+}
+
+func TestWeightedBeatsUniformForMixedSizes(t *testing.T) {
+	// One small and one large view of the same truth: the small view's
+	// projection carries less noise, so weighting toward it should give
+	// a better common estimate on average.
+	src := noise.NewStream(81)
+	truthBig := marginal.New([]int{0, 1, 2, 3, 4, 5})
+	for i := range truthBig.Cells {
+		truthBig.Cells[i] = 50 + float64(i%7)
+	}
+	truthSmall := truthBig.Project([]int{0, 1})
+	truthA := truthBig.Project([]int{0})
+	var errU, errW float64
+	const reps = 300
+	for rep := 0; rep < reps; rep++ {
+		big := truthBig.NoisyCopy(src, 5)
+		small := truthSmall.NoisyCopy(src, 5)
+		bigW := big.Clone()
+		smallW := small.Clone()
+		estU := MutualOnSet([]*marginal.Table{big, small}, []int{0})
+		estW := MutualOnSetWeighted([]*marginal.Table{bigW, smallW}, []int{0},
+			VarianceWeights([]*marginal.Table{bigW, smallW}))
+		errU += marginal.L2Distance(estU, truthA)
+		errW += marginal.L2Distance(estW, truthA)
+	}
+	if errW >= errU {
+		t.Errorf("weighted estimate (%v) not better than uniform (%v)", errW, errU)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	v := marginal.New([]int{0, 1})
+	for name, fn := range map[string]func(){
+		"misaligned": func() {
+			MutualOnSetWeighted([]*marginal.Table{v}, []int{0}, []float64{1, 2})
+		},
+		"negative": func() {
+			MutualOnSetWeighted([]*marginal.Table{v}, []int{0}, []float64{-1})
+		},
+		"zero sum": func() {
+			MutualOnSetWeighted([]*marginal.Table{v}, []int{0}, []float64{0})
+		},
+	} {
+		func() {
+			defer func() { _ = recover() }()
+			fn()
+			t.Errorf("%s: expected panic", name)
+		}()
+	}
+}

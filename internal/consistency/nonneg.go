@@ -1,0 +1,153 @@
+package consistency
+
+import (
+	"fmt"
+
+	"priview/internal/marginal"
+)
+
+// NonnegMethod selects a strategy for correcting negative entries in a
+// noisy marginal table. The paper's Fig. 4 compares all four.
+type NonnegMethod int
+
+const (
+	// NonnegNone leaves negative entries in place.
+	NonnegNone NonnegMethod = iota
+	// NonnegSimple clamps negative entries to zero. This introduces a
+	// systematic positive bias (total count grows).
+	NonnegSimple
+	// NonnegGlobal clamps negatives to zero and then subtracts a uniform
+	// amount from positive entries so the total count is unchanged,
+	// iterating if the subtraction creates new negatives.
+	NonnegGlobal
+	// NonnegRipple is the paper's Ripple method: a cell below −θ is set
+	// to zero and its (negative) mass is pulled evenly from the ℓ
+	// Hamming-neighbor cells, preserving the total count while avoiding
+	// the clamping bias; iterated until no cell is below −θ.
+	NonnegRipple
+)
+
+// String implements fmt.Stringer for experiment labels.
+func (m NonnegMethod) String() string {
+	switch m {
+	case NonnegNone:
+		return "None"
+	case NonnegSimple:
+		return "Simple"
+	case NonnegGlobal:
+		return "Global"
+	case NonnegRipple:
+		return "Ripple"
+	default:
+		return fmt.Sprintf("NonnegMethod(%d)", int(m))
+	}
+}
+
+// DefaultRippleTheta is the default tolerance below which a cell is
+// considered negative enough to correct. The paper only requires θ to be
+// "small"; a small constant fraction of one count works across all the
+// evaluated datasets and budgets.
+const DefaultRippleTheta = 0.5
+
+// Apply corrects negative entries of t in place using the chosen method.
+func Apply(m NonnegMethod, t *marginal.Table, theta float64) {
+	switch m {
+	case NonnegNone:
+	case NonnegSimple:
+		t.ClampNegatives()
+	case NonnegGlobal:
+		Global(t)
+	case NonnegRipple:
+		Ripple(t, theta)
+	default:
+		panic(fmt.Sprintf("consistency: unknown non-negativity method %d", int(m)))
+	}
+}
+
+// Global clamps negative cells to zero and removes the added mass evenly
+// from the positive cells, iterating until the table is non-negative or
+// the total mass is non-positive (in which case everything is zeroed).
+func Global(t *marginal.Table) {
+	const maxIter = 64
+	for iter := 0; iter < maxIter; iter++ {
+		removed := t.ClampNegatives()
+		if removed == 0 {
+			return
+		}
+		// Count positive cells.
+		pos := 0
+		for _, v := range t.Cells {
+			if v > 0 {
+				pos++
+			}
+		}
+		if pos == 0 {
+			return
+		}
+		share := removed / float64(pos)
+		for i, v := range t.Cells {
+			if v > 0 {
+				t.Cells[i] = v - share
+			}
+		}
+	}
+	// If mass keeps sloshing, settle for the clamped table.
+	t.ClampNegatives()
+}
+
+// Ripple applies the paper's Ripple non-negativity: every cell with
+// count c < −θ is set to zero and |c|/ℓ is subtracted from each of its ℓ
+// Hamming neighbors (cells reachable by flipping one attribute bit).
+// The total count is preserved exactly. Processing repeats until no
+// cell is below −θ; each pass spreads any remaining negativity over ℓ
+// neighbors so the process terminates quickly for θ > 0.
+func Ripple(t *marginal.Table, theta float64) {
+	if theta <= 0 {
+		panic("consistency: Ripple requires theta > 0")
+	}
+	ell := t.Dim()
+	if ell == 0 {
+		// A 0-way table is a single total; nothing to ripple to.
+		return
+	}
+	// Worklist of candidate cells; a cell can re-enter when a neighbor
+	// pushes it below −θ again.
+	queue := make([]int, 0, len(t.Cells))
+	inQueue := make([]bool, len(t.Cells))
+	for i, v := range t.Cells {
+		if v < -theta {
+			queue = append(queue, i)
+			inQueue[i] = true
+		}
+	}
+	// Safety cap: geometric decay guarantees termination, but guard
+	// against pathological θ anyway.
+	maxOps := 64 * len(t.Cells) * (ell + 1)
+	ops := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		inQueue[i] = false
+		c := t.Cells[i]
+		if c >= -theta {
+			continue
+		}
+		t.Cells[i] = 0
+		share := -c / float64(ell) // positive amount pulled per neighbor
+		for b := 0; b < ell; b++ {
+			j := i ^ (1 << uint(b))
+			t.Cells[j] -= share
+			if t.Cells[j] < -theta && !inQueue[j] {
+				queue = append(queue, j)
+				inQueue[j] = true
+			}
+		}
+		ops++
+		if ops > maxOps {
+			// Extremely unlikely; fall back to the bias-free global fix
+			// rather than looping forever.
+			Global(t)
+			return
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package core implements the PriView mechanism (§4 of the paper): it
+// plans a set of views from a covering design, publishes Laplace-noised
+// marginal tables for them, post-processes the tables for mutual
+// consistency and non-negativity, and answers arbitrary k-way marginal
+// queries from the resulting synopsis by maximum-entropy reconstruction
+// (or the alternative estimators evaluated in Fig. 3).
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"priview/internal/consistency"
+	"priview/internal/covering"
+	"priview/internal/dataset"
+	"priview/internal/marginal"
+	"priview/internal/noise"
+	"priview/internal/reconstruct"
+)
+
+// ReconstructMethod selects how marginals not covered by a single view
+// are estimated (§4.3). CME is the paper's proposed method.
+type ReconstructMethod int
+
+const (
+	// CME: maximum entropy over consistent views (the default).
+	CME ReconstructMethod = iota
+	// CLN: least-squares (minimum L2 norm) over consistent views.
+	CLN
+	// LP: max-error linear programming over the raw noisy views,
+	// without a consistency step.
+	LP
+	// CLP: the LP estimator after the consistency pre-processing step.
+	CLP
+	// CMEDual: maximum entropy solved by dual gradient ascent instead
+	// of iterative proportional fitting — an ablation/cross-check of
+	// the solver choice, not a distinct estimator (same optimum).
+	CMEDual
+)
+
+// String implements fmt.Stringer for experiment labels.
+func (m ReconstructMethod) String() string {
+	switch m {
+	case CME:
+		return "CME"
+	case CLN:
+		return "CLN"
+	case LP:
+		return "LP"
+	case CLP:
+		return "CLP"
+	case CMEDual:
+		return "CME-dual"
+	default:
+		return fmt.Sprintf("ReconstructMethod(%d)", int(m))
+	}
+}
+
+// NoiseKind selects the perturbation mechanism for the views.
+type NoiseKind int
+
+const (
+	// LaplaceNoise is the paper's mechanism: pure ε-DP, per-view scale
+	// w/ε (L1 sensitivity w — each record touches one cell per view).
+	LaplaceNoise NoiseKind = iota
+	// GaussianNoise is an (ε, δ)-DP extension: because each record
+	// touches exactly one cell per view, the view collection's L2
+	// sensitivity is √w rather than w, so Gaussian noise needs only
+	// σ = √(2w·ln(1.25/δ))/ε per cell — for large designs (w ≫
+	// ln(1/δ)) this beats Laplace's w/ε scale substantially. Requires
+	// Delta > 0.
+	GaussianNoise
+)
+
+// Config controls synopsis construction and querying.
+type Config struct {
+	// Epsilon is the total privacy budget, split uniformly across the
+	// design's views. Required.
+	Epsilon float64
+	// Noise selects Laplace (default, pure ε-DP as in the paper) or
+	// Gaussian ((ε, Delta)-DP, exploiting the √w L2 sensitivity).
+	Noise NoiseKind
+	// Delta is the (ε, δ) slack for GaussianNoise; ignored for Laplace.
+	Delta float64
+	// Design is the view set. Required (use PlanDesign to choose one).
+	Design *covering.Design
+	// Nonneg selects the negative-entry correction applied between
+	// consistency passes; defaults to Ripple, the paper's method.
+	Nonneg consistency.NonnegMethod
+	// RippleTheta is the Ripple tolerance θ (default
+	// consistency.DefaultRippleTheta).
+	RippleTheta float64
+	// NonnegRounds is i in the paper's Ripple_i: how many
+	// (non-negativity + consistency) passes follow the initial
+	// consistency step. Default 1; the paper finds more rounds add
+	// nothing.
+	NonnegRounds int
+	// SkipPostprocess disables consistency and non-negativity entirely,
+	// used for the "None" series in Fig. 4 and the raw-LP estimator.
+	SkipPostprocess bool
+	// WeightedConsistency uses inverse-variance averaging in the
+	// consistency steps. Identical to the paper's plain mean when all
+	// views share one size; strictly better when block sizes are mixed
+	// (e.g. greedy designs with some short blocks).
+	WeightedConsistency bool
+	// Method selects the reconstruction estimator (default CME).
+	Method ReconstructMethod
+	// Reconstruct tunes the iterative solvers.
+	Reconstruct reconstruct.Options
+	// NoNoise builds the synopsis without Laplace noise: the paper's
+	// C_t^* series isolating coverage error from noise error.
+	NoNoise bool
+}
+
+func (c Config) nonnegRounds() int {
+	if c.NonnegRounds <= 0 {
+		return 1
+	}
+	return c.NonnegRounds
+}
+
+func (c Config) rippleTheta() float64 {
+	if c.RippleTheta <= 0 {
+		return consistency.DefaultRippleTheta
+	}
+	return c.RippleTheta
+}
+
+// Synopsis is the published object: post-processed view marginals from
+// which any k-way marginal can be reconstructed without further access
+// to the data.
+type Synopsis struct {
+	cfg      Config
+	views    []*marginal.Table // post-processed (consistent, non-negative)
+	rawViews []*marginal.Table // as published, before post-processing
+	total    float64           // common total count N_V of the views
+}
+
+// BuildSynopsis constructs the PriView synopsis for the dataset. This is
+// the only function that touches the raw data; everything downstream
+// operates on the noisy views. The noise source determines the Laplace
+// draws; pass a seeded stream for reproducible experiments.
+func BuildSynopsis(data *dataset.Dataset, cfg Config, src noise.Source) *Synopsis {
+	if cfg.Design == nil {
+		panic("core: Config.Design is required")
+	}
+	if !cfg.NoNoise && cfg.Epsilon <= 0 {
+		panic("core: Config.Epsilon must be positive")
+	}
+	if cfg.Design.D != data.Dim() {
+		panic(fmt.Sprintf("core: design over %d attributes, dataset has %d", cfg.Design.D, data.Dim()))
+	}
+	w := cfg.Design.W()
+	views := make([]*marginal.Table, w)
+	// Perturbation: each record contributes one count to each view, so
+	// the collection has L1 sensitivity w (Laplace) and L2 sensitivity
+	// √w (Gaussian).
+	perturb := func(*marginal.Table, noise.Source) {}
+	if !cfg.NoNoise {
+		switch cfg.Noise {
+		case LaplaceNoise:
+			scale := noise.LaplaceMechScale(float64(w), cfg.Epsilon)
+			perturb = func(t *marginal.Table, s noise.Source) { t.AddLaplace(s, scale) }
+		case GaussianNoise:
+			if !(cfg.Delta > 0 && cfg.Delta < 1) {
+				panic("core: GaussianNoise requires Delta in (0,1)")
+			}
+			sigma := noise.GaussianMechSigma(math.Sqrt(float64(w)), cfg.Epsilon, cfg.Delta)
+			perturb = func(t *marginal.Table, s noise.Source) { t.AddGaussian(s, sigma) }
+		default:
+			panic(fmt.Sprintf("core: unknown noise kind %d", int(cfg.Noise)))
+		}
+	}
+	if stream, ok := src.(*noise.Stream); ok && runtime.GOMAXPROCS(0) > 1 && w > 1 {
+		// Views are independent scans; with a derivable stream each view
+		// gets its own deterministic noise sub-stream, so the result is
+		// reproducible regardless of scheduling.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, block := range cfg.Design.Blocks {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, block []int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t := data.Marginal(block)
+				perturb(t, stream.DeriveIndexed("view", i))
+				views[i] = t
+			}(i, block)
+		}
+		wg.Wait()
+	} else {
+		for i, block := range cfg.Design.Blocks {
+			t := data.Marginal(block)
+			perturb(t, src)
+			views[i] = t
+		}
+	}
+	s := &Synopsis{cfg: cfg, rawViews: cloneViews(views), views: views}
+	s.postprocess()
+	return s
+}
+
+// FromViews assembles a synopsis directly from already-noisy view
+// tables (e.g. read from disk); post-processing is applied according to
+// the config. The design in cfg must describe the views' attribute
+// sets.
+func FromViews(views []*marginal.Table, cfg Config) *Synopsis {
+	s := &Synopsis{cfg: cfg, rawViews: cloneViews(views), views: cloneViews(views)}
+	s.postprocess()
+	return s
+}
+
+func cloneViews(vs []*marginal.Table) []*marginal.Table {
+	out := make([]*marginal.Table, len(vs))
+	for i, v := range vs {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+// postprocess runs Consistency, then NonnegRounds × (non-negativity +
+// Consistency) — the paper's Consistency + Ripple + Consistency
+// schedule for the default round count.
+func (s *Synopsis) postprocess() {
+	s.total = meanTotal(s.views)
+	if s.cfg.SkipPostprocess {
+		return
+	}
+	reconcile := consistency.Overall
+	if s.cfg.WeightedConsistency {
+		reconcile = consistency.OverallWeighted
+	}
+	reconcile(s.views)
+	for round := 0; round < s.cfg.nonnegRounds(); round++ {
+		if s.cfg.Nonneg != consistency.NonnegNone {
+			for _, v := range s.views {
+				consistency.Apply(s.cfg.Nonneg, v, s.cfg.rippleTheta())
+			}
+		}
+		reconcile(s.views)
+	}
+	s.total = meanTotal(s.views)
+	if s.total < 0 {
+		s.total = 0
+	}
+}
+
+func meanTotal(views []*marginal.Table) float64 {
+	if len(views) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range views {
+		sum += v.Total()
+	}
+	return sum / float64(len(views))
+}
+
+// Name renders the method label used in the figures, e.g.
+// "PriView(C2(8,20))".
+func (s *Synopsis) Name() string {
+	if s.cfg.Design != nil {
+		return fmt.Sprintf("PriView(%s)", s.cfg.Design.Name())
+	}
+	return "PriView"
+}
+
+// Total returns N_V, the common total count of the consistent views.
+func (s *Synopsis) Total() float64 { return s.total }
+
+// Views returns the post-processed view tables. Callers must not mutate
+// them.
+func (s *Synopsis) Views() []*marginal.Table { return s.views }
+
+// RawViews returns the noisy views before post-processing.
+func (s *Synopsis) RawViews() []*marginal.Table { return s.rawViews }
+
+// Query reconstructs the marginal table over attrs using the configured
+// estimator. Marginals fully covered by a view are answered by direct
+// summation; otherwise the under-determined system induced by the views
+// is resolved by the configured method.
+func (s *Synopsis) Query(attrs []int) *marginal.Table {
+	return s.QueryMethod(attrs, s.cfg.Method)
+}
+
+// QueryMethod is Query with an explicit estimator, leaving the synopsis
+// configuration untouched — callers serving concurrent requests with
+// different estimators use this. It is safe for concurrent use: all
+// reconstruction paths read the views without mutating them.
+func (s *Synopsis) QueryMethod(attrs []int, method ReconstructMethod) *marginal.Table {
+	canonical := marginal.New(attrs).Attrs
+	source := s.views
+	if method == LP {
+		source = s.rawViews
+	}
+	if t := reconstruct.Covered(source, canonical); t != nil {
+		if method == LP || s.cfg.SkipPostprocess {
+			// Raw views may carry negatives even in the covered case.
+			clamped := t.Clone()
+			clamped.ClampNegatives()
+			return clamped
+		}
+		return t
+	}
+	cons := reconstruct.ConstraintsFromViews(source, canonical)
+	switch method {
+	case CME:
+		return reconstruct.MaxEnt(canonical, s.total, cons, s.cfg.Reconstruct)
+	case CMEDual:
+		return reconstruct.MaxEntDual(canonical, s.total, cons, s.cfg.Reconstruct)
+	case CLN:
+		return reconstruct.LeastSquares(canonical, s.total, cons, s.cfg.Reconstruct)
+	case LP, CLP:
+		t, err := reconstruct.LinProg(canonical, cons)
+		if err != nil {
+			// The LP is always feasible (τ is unconstrained above), so
+			// failures indicate numerical trouble; fall back to maxent
+			// rather than returning nothing.
+			return reconstruct.MaxEnt(canonical, s.total, cons, s.cfg.Reconstruct)
+		}
+		return t
+	default:
+		panic(fmt.Sprintf("core: unknown reconstruction method %d", int(method)))
+	}
+}
+
+// Count answers a conjunction counting query from the synopsis: the
+// estimated number of records whose attribute attrs[i] equals values[i]
+// for every i. It is one cell of the corresponding marginal, so it
+// inherits the configured estimator and costs no privacy budget.
+func (s *Synopsis) Count(attrs []int, values []bool) float64 {
+	if len(attrs) != len(values) {
+		panic("core: attrs and values must align")
+	}
+	// Canonicalize jointly (on copies) so values follow their
+	// attributes into the table's sorted order.
+	a := append([]int(nil), attrs...)
+	v := append([]bool(nil), values...)
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	t := s.Query(a)
+	idx := 0
+	for j := range a {
+		if v[j] {
+			idx |= 1 << uint(j)
+		}
+	}
+	return t.Cells[idx]
+}
+
+// Epsilon returns the privacy budget the synopsis was built with (0 for
+// a no-noise synopsis).
+func (s *Synopsis) Epsilon() float64 { return s.cfg.Epsilon }
+
+// Design returns the covering design behind the views (may be nil for
+// synopses assembled from ad-hoc views).
+func (s *Synopsis) Design() *covering.Design { return s.cfg.Design }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"priview/internal/marginal"
+)
+
+// Merge combines independent PriView releases over the same view set
+// into one more-accurate synopsis. Each input was built with its own
+// Laplace draws, so inverse-variance weighting of corresponding views —
+// weight ∝ (ε_i/w)², since each release's per-cell noise variance is
+// 2(w/ε_i)² — is the minimum-variance unbiased combination; the merged
+// views are then re-post-processed (consistency + Ripple + consistency).
+//
+// Privacy: by sequential composition the merged object is
+// (Σ ε_i)-differentially private; callers should account for the sum
+// (see internal/privacy). Merging is the natural pattern for a curator
+// who re-releases with additional budget as accuracy needs grow.
+func Merge(synopses ...*Synopsis) (*Synopsis, error) {
+	if len(synopses) == 0 {
+		return nil, fmt.Errorf("core: nothing to merge")
+	}
+	if len(synopses) == 1 {
+		return synopses[0], nil
+	}
+	first := synopses[0]
+	totalEps := 0.0
+	weights := make([]float64, len(synopses))
+	for i, s := range synopses {
+		if len(s.rawViews) != len(first.rawViews) {
+			return nil, fmt.Errorf("core: synopsis %d has %d views, want %d", i, len(s.rawViews), len(first.rawViews))
+		}
+		for j, v := range s.rawViews {
+			if !marginal.SameAttrs(v.Attrs, first.rawViews[j].Attrs) {
+				return nil, fmt.Errorf("core: synopsis %d view %d covers %v, want %v", i, j, v.Attrs, first.rawViews[j].Attrs)
+			}
+		}
+		if s.cfg.Epsilon <= 0 {
+			return nil, fmt.Errorf("core: synopsis %d has no positive epsilon (merge needs noisy releases)", i)
+		}
+		weights[i] = s.cfg.Epsilon * s.cfg.Epsilon // variance ∝ 1/ε², so weight ∝ ε²
+		totalEps += s.cfg.Epsilon
+	}
+	wSum := 0.0
+	for _, w := range weights {
+		wSum += w
+	}
+	merged := make([]*marginal.Table, len(first.rawViews))
+	for j := range merged {
+		acc := marginal.New(first.rawViews[j].Attrs)
+		for i, s := range synopses {
+			v := s.rawViews[j]
+			for c := range acc.Cells {
+				acc.Cells[c] += weights[i] * v.Cells[c]
+			}
+		}
+		acc.Scale(1 / wSum)
+		merged[j] = acc
+	}
+	cfg := first.cfg
+	cfg.Epsilon = totalEps
+	out := &Synopsis{cfg: cfg, rawViews: cloneViews(merged), views: merged}
+	out.postprocess()
+	return out, nil
+}

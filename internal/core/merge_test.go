@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"priview/internal/covering"
+	"priview/internal/dataset/synth"
+	"priview/internal/marginal"
+	"priview/internal/metrics"
+	"priview/internal/noise"
+)
+
+func TestMergeReducesError(t *testing.T) {
+	data := synth.Kosarak(50000, 60)
+	dg := covering.Best(32, 8, 2, 1, 2)
+	attrs := []int{0, 9, 17, 30}
+	truth := data.Marginal(attrs)
+	n := float64(data.Len())
+
+	var errSingle, errMerged float64
+	const reps = 5
+	for r := 0; r < reps; r++ {
+		a := BuildSynopsis(data, Config{Epsilon: 0.5, Design: dg}, noise.NewStream(int64(100+r)))
+		b := BuildSynopsis(data, Config{Epsilon: 0.5, Design: dg}, noise.NewStream(int64(200+r)))
+		m, err := Merge(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Epsilon() != 1.0 {
+			t.Fatalf("merged epsilon = %v, want 1.0", m.Epsilon())
+		}
+		errSingle += metrics.NormalizedL2Error(a.Query(attrs), truth, n)
+		errMerged += metrics.NormalizedL2Error(m.Query(attrs), truth, n)
+	}
+	if errMerged >= errSingle {
+		t.Errorf("merged error %v not below single-release error %v", errMerged, errSingle)
+	}
+}
+
+func TestMergeWeightsByEpsilon(t *testing.T) {
+	// A high-budget release merged with a junk low-budget one should
+	// stay close to the high-budget answers (weight ∝ ε²).
+	data := synth.MSNBC(20000, 61)
+	dg := covering.Groups(9, 6)
+	strong := BuildSynopsis(data, Config{Epsilon: 2.0, Design: dg}, noise.NewStream(62))
+	weak := BuildSynopsis(data, Config{Epsilon: 0.05, Design: dg}, noise.NewStream(63))
+	m, err := Merge(strong, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []int{0, 4}
+	truth := data.Marginal(attrs)
+	errStrong := metrics.L2Error(strong.Query(attrs), truth)
+	errMerged := metrics.L2Error(m.Query(attrs), truth)
+	// The weak release's weight is (0.05/2)² ≈ 0.06%: merging must not
+	// blow up the strong release's accuracy.
+	if errMerged > errStrong*1.5+1 {
+		t.Errorf("merge degraded a strong release: %v -> %v", errStrong, errMerged)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	data := synth.MSNBC(1000, 64)
+	dgA := covering.Groups(9, 6)
+	dgB := covering.Groups(9, 4)
+	a := BuildSynopsis(data, Config{Epsilon: 1, Design: dgA}, noise.NewStream(65))
+	b := BuildSynopsis(data, Config{Epsilon: 1, Design: dgB}, noise.NewStream(66))
+	if _, err := Merge(a, b); err == nil {
+		t.Error("merged synopses over different view sets")
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("merged nothing")
+	}
+	noNoise := BuildSynopsis(data, Config{Design: dgA, NoNoise: true}, nil)
+	if _, err := Merge(a, noNoise); err == nil {
+		t.Error("merged a no-noise synopsis (no epsilon to weight by)")
+	}
+	single, err := Merge(a)
+	if err != nil || single != a {
+		t.Error("single-input merge should return the input")
+	}
+}
+
+func TestMergeViewsConsistent(t *testing.T) {
+	data := synth.MSNBC(5000, 67)
+	dg := covering.Groups(9, 6)
+	a := BuildSynopsis(data, Config{Epsilon: 0.5, Design: dg}, noise.NewStream(68))
+	b := BuildSynopsis(data, Config{Epsilon: 0.7, Design: dg}, noise.NewStream(69))
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Views() {
+		if !marginal.SameAttrs(m.Views()[i].Attrs, a.Views()[i].Attrs) {
+			t.Fatal("merged views misaligned")
+		}
+	}
+	// Merged epsilon = 1.2.
+	if got := m.Epsilon(); got < 1.19 || got > 1.21 {
+		t.Errorf("merged epsilon = %v", got)
+	}
+}

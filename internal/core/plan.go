@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+
+	"priview/internal/covering"
+	"priview/internal/dataset"
+	"priview/internal/noise"
+)
+
+// DefaultEll is the paper's recommended view size ℓ=8 (§4.5), derived
+// from minimizing 2^{ℓ/2}/(ℓ(ℓ−1)) — notably independent of N, d and ε.
+const DefaultEll = 8
+
+// NoiseErrorThreshold is the upper end of the paper's empirical target
+// band for the Eq. 5 noise error (0.001–0.003): the planner picks the
+// largest coverage t whose noise error stays below it.
+const NoiseErrorThreshold = 0.003
+
+// Plan describes a chosen view set together with its predicted noise
+// error, as produced by PlanDesign.
+type Plan struct {
+	Design     *covering.Design
+	NoiseError float64 // Eq. 5 for the chosen design
+}
+
+// NoiseError evaluates Eq. 5 for a design: the expected normalized
+// error of a pair reconstructed by averaging the views that cover it.
+func NoiseError(dg *covering.Design, eps float64, n int) float64 {
+	return math.Pow(2, (float64(dg.L)+1)/2) / (float64(n) * eps) *
+		math.Sqrt(float64(dg.W())*float64(dg.D)*float64(dg.D-1)/
+			(float64(dg.L)*float64(dg.L-1)))
+}
+
+// PlanDesign chooses a covering design for a d-dimensional dataset of
+// roughly n records under budget eps, following §4.5: fix ℓ=8 (or d if
+// smaller), construct designs for t = 2, 3, 4, and keep the largest t
+// whose Eq. 5 noise error stays below the threshold — better coverage is
+// only worth taking while noise remains subdominant. t=2 is always
+// available as the floor.
+func PlanDesign(d, n int, eps float64, seed int64) Plan {
+	ell := DefaultEll
+	if ell > d {
+		ell = d
+	}
+	best := Plan{}
+	maxT := 4
+	if maxT > ell {
+		maxT = ell
+	}
+	for t := 2; t <= maxT; t++ {
+		dg := covering.Best(d, ell, t, seed, 4)
+		err := NoiseError(dg, eps, n)
+		if best.Design == nil || err <= NoiseErrorThreshold {
+			best = Plan{Design: dg, NoiseError: err}
+		}
+		if err > NoiseErrorThreshold {
+			break // higher t only adds noise
+		}
+	}
+	return best
+}
+
+// NoisyCount estimates N with a tiny slice of budget (the paper suggests
+// ε=0.001), for use by PlanDesign before the main release.
+func NoisyCount(data *dataset.Dataset, eps float64, src noise.Source) float64 {
+	n := float64(data.Len()) + noise.Laplace(src, noise.LaplaceMechScale(1, eps))
+	if n < 1 {
+		return 1
+	}
+	return n
+}

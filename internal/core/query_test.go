@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"priview/internal/covering"
+	"priview/internal/dataset/synth"
+	"priview/internal/marginal"
+	"priview/internal/metrics"
+	"priview/internal/noise"
+)
+
+// TestQueryMethodDoesNotMutate verifies concurrent-safe method
+// selection: QueryMethod with an alternative estimator leaves the
+// configured default untouched.
+func TestQueryMethodDoesNotMutate(t *testing.T) {
+	data := synth.MSNBC(5000, 40)
+	dg := covering.Groups(9, 4)
+	s := BuildSynopsis(data, Config{Epsilon: 1, Design: dg, Method: CME}, noise.NewStream(41))
+	attrs := []int{0, 3, 6, 8}
+	before := s.Query(attrs)
+	_ = s.QueryMethod(attrs, CLN)
+	after := s.Query(attrs)
+	if !marginal.Equal(before, after, 0) {
+		t.Error("QueryMethod changed the default estimator's answers")
+	}
+}
+
+func TestQueryMethodCMEDual(t *testing.T) {
+	data := synth.Kosarak(20000, 42)
+	dg := covering.Best(32, 8, 2, 1, 2)
+	s := BuildSynopsis(data, Config{Epsilon: 1, Design: dg}, noise.NewStream(43))
+	attrs := []int{0, 9, 17, 30}
+	ipf := s.QueryMethod(attrs, CME)
+	dual := s.QueryMethod(attrs, CMEDual)
+	// Same convex program, different solvers: answers must be close.
+	n := float64(data.Len())
+	if metrics.NormalizedL2Error(ipf, dual, n) > 0.01 {
+		t.Errorf("IPF and dual ascent disagree: %v", metrics.NormalizedL2Error(ipf, dual, n))
+	}
+}
+
+func TestLPCoveredQueryClampsNegatives(t *testing.T) {
+	// Raw views can hold negatives; the covered path for LP must clamp.
+	data := synth.MSNBC(100, 44) // tiny N: noise dominates, negatives certain
+	dg := covering.Groups(9, 6)
+	s := BuildSynopsis(data, Config{Epsilon: 0.1, Design: dg, Method: LP, SkipPostprocess: true},
+		noise.NewStream(45))
+	got := s.Query(dg.Blocks[0][:3])
+	for _, v := range got.Cells {
+		if v < 0 {
+			t.Errorf("negative cell %v in covered LP query", v)
+		}
+	}
+}
+
+func TestSkipPostprocessKeepsRawViews(t *testing.T) {
+	data := synth.MSNBC(5000, 46)
+	dg := covering.Groups(9, 6)
+	s := BuildSynopsis(data, Config{Epsilon: 1, Design: dg, SkipPostprocess: true}, noise.NewStream(47))
+	// Raw and processed views must be identical when post-processing is
+	// skipped.
+	for i := range s.Views() {
+		if !marginal.Equal(s.Views()[i], s.RawViews()[i], 0) {
+			t.Fatal("SkipPostprocess still modified views")
+		}
+	}
+}
+
+func TestTotalNonNegativeEvenAtTinyEps(t *testing.T) {
+	data := synth.MSNBC(10, 48)
+	dg := covering.Groups(9, 6)
+	for seed := int64(0); seed < 10; seed++ {
+		s := BuildSynopsis(data, Config{Epsilon: 0.01, Design: dg}, noise.NewStream(seed))
+		if s.Total() < 0 {
+			t.Errorf("seed %d: negative total %v", seed, s.Total())
+		}
+		got := s.Query([]int{0, 5})
+		if math.IsNaN(got.Total()) {
+			t.Errorf("seed %d: NaN total", seed)
+		}
+	}
+}
+
+func TestEpsilonAndDesignAccessors(t *testing.T) {
+	data := synth.MSNBC(100, 49)
+	dg := covering.Groups(9, 6)
+	s := BuildSynopsis(data, Config{Epsilon: 0.7, Design: dg}, noise.NewStream(50))
+	if s.Epsilon() != 0.7 {
+		t.Errorf("Epsilon = %v", s.Epsilon())
+	}
+	if s.Design() != dg {
+		t.Error("Design accessor broken")
+	}
+}
+
+func TestQueryMethodUnknownPanics(t *testing.T) {
+	data := synth.MSNBC(100, 51)
+	dg := covering.Groups(9, 6)
+	s := BuildSynopsis(data, Config{Epsilon: 1, Design: dg}, noise.NewStream(52))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown method")
+		}
+	}()
+	s.QueryMethod([]int{0, 5, 7}, ReconstructMethod(99))
+}
+
+func TestCountConjunction(t *testing.T) {
+	data := synth.MSNBC(20000, 53)
+	dg := covering.Groups(9, 6)
+	s := BuildSynopsis(data, Config{Design: dg, NoNoise: true}, nil)
+	// Noise-free covered pair: count must match the truth exactly.
+	truth := data.Marginal([]int{2, 5})
+	got := s.Count([]int{5, 2}, []bool{true, false}) // deliberately unsorted
+	// attrs sorted: {2,5}; values follow: attr2=false, attr5=true →
+	// cell index 0b10.
+	if math.Abs(got-truth.Cells[0b10]) > 1e-6 {
+		t.Errorf("Count = %v, want %v", got, truth.Cells[0b10])
+	}
+	// Inputs must not be mutated.
+	attrs := []int{5, 2}
+	values := []bool{true, false}
+	s.Count(attrs, values)
+	if attrs[0] != 5 || values[0] != true {
+		t.Error("Count mutated its arguments")
+	}
+}
+
+func TestCountValidatesAlignment(t *testing.T) {
+	data := synth.MSNBC(100, 54)
+	dg := covering.Groups(9, 6)
+	s := BuildSynopsis(data, Config{Epsilon: 1, Design: dg}, noise.NewStream(55))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for misaligned inputs")
+		}
+	}()
+	s.Count([]int{1, 2}, []bool{true})
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"priview/internal/covering"
+	"priview/internal/marginal"
+)
+
+// synopsisFile is the on-disk JSON representation of a published
+// synopsis: the (already post-processed) view tables plus enough
+// metadata to reconstruct queries and audit the release.
+type synopsisFile struct {
+	Format  string     `json:"format"`
+	Epsilon float64    `json:"epsilon"`
+	Total   float64    `json:"total"`
+	Design  designFile `json:"design"`
+	Views   []viewFile `json:"views"`
+}
+
+type designFile struct {
+	D      int     `json:"d"`
+	T      int     `json:"t"`
+	L      int     `json:"l"`
+	Blocks [][]int `json:"blocks"`
+}
+
+type viewFile struct {
+	Attrs []int     `json:"attrs"`
+	Cells []float64 `json:"cells"`
+}
+
+const synopsisFormat = "priview-synopsis-v1"
+
+// Save serializes the synopsis as JSON. Only the post-processed
+// views are stored — they are the published object; raw noisy views are
+// an intermediate artifact.
+func (s *Synopsis) Save(w io.Writer) error {
+	f := synopsisFile{
+		Format:  synopsisFormat,
+		Epsilon: s.cfg.Epsilon,
+		Total:   s.total,
+	}
+	if s.cfg.Design != nil {
+		f.Design = designFile{
+			D: s.cfg.Design.D, T: s.cfg.Design.T, L: s.cfg.Design.L,
+			Blocks: s.cfg.Design.Blocks,
+		}
+	}
+	for _, v := range s.views {
+		f.Views = append(f.Views, viewFile{Attrs: v.Attrs, Cells: v.Cells})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// Load reads a synopsis previously written with Save. The views are
+// used as-is (they were post-processed before saving); queries use the
+// maximum-entropy estimator unless changed with SetMethod.
+func Load(r io.Reader) (*Synopsis, error) {
+	var f synopsisFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding synopsis: %w", err)
+	}
+	if f.Format != synopsisFormat {
+		return nil, fmt.Errorf("core: unknown synopsis format %q", f.Format)
+	}
+	if len(f.Views) == 0 {
+		return nil, fmt.Errorf("core: synopsis has no views")
+	}
+	views := make([]*marginal.Table, len(f.Views))
+	for i, vf := range f.Views {
+		t := marginal.New(vf.Attrs)
+		if len(vf.Cells) != t.Size() {
+			return nil, fmt.Errorf("core: view %d has %d cells, want %d", i, len(vf.Cells), t.Size())
+		}
+		copy(t.Cells, vf.Cells)
+		views[i] = t
+	}
+	design := &covering.Design{D: f.Design.D, T: f.Design.T, L: f.Design.L, Blocks: f.Design.Blocks}
+	s := &Synopsis{
+		cfg:      Config{Epsilon: f.Epsilon, Design: design, Method: CME},
+		views:    views,
+		rawViews: cloneViews(views),
+		total:    f.Total,
+	}
+	return s, nil
+}
+
+// SetMethod switches the reconstruction estimator used by Query. It
+// affects only post-processing of the already-published views, so it
+// has no privacy cost.
+func (s *Synopsis) SetMethod(m ReconstructMethod) { s.cfg.Method = m }

@@ -1,0 +1,51 @@
+package covering
+
+import (
+	"testing"
+
+	"priview/internal/noise"
+)
+
+func BenchmarkGreedyD32T2(b *testing.B) {
+	rng := noise.NewStream(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Greedy(32, 8, 2, rng)
+	}
+}
+
+func BenchmarkGreedyD45T3(b *testing.B) {
+	rng := noise.NewStream(2)
+	for i := 0; i < b.N; i++ {
+		Greedy(45, 8, 3, rng)
+	}
+}
+
+func BenchmarkBinarySubspaceCover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BinarySubspaceCover(5, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAffinePlane8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AffinePlane(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyD64(b *testing.B) {
+	dg, err := AffinePlane(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dg.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package covering
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BinarySubspaceCover constructs an optimal-size pair covering design for
+// d = 2^m points with blocks of ℓ = 2^r points, by covering the nonzero
+// vectors of GF(2)^m with r-dimensional subspaces and taking all cosets
+// of each subspace as blocks. Every pair {x, y} has difference x⊕y in
+// some subspace S of the cover, so x and y share a coset of S.
+//
+// Two regimes are supported:
+//   - r divides m: a perfect spread via the GF(2^r)-vector-space
+//     structure, giving (2^m−1)/(2^r−1) subspaces;
+//   - (r−1) divides (m−1): a spread of (r−1)-subspaces of GF(2)^{m−1}
+//     lifted through a common vector, giving (2^{m−1}−1)/(2^{r−1}−1)
+//     subspaces.
+//
+// For d=32, ℓ=8 this yields the paper's C_2(8,20); for d=64, ℓ=8 it
+// yields C_2(8,72).
+func BinarySubspaceCover(m, r int) (*Design, error) {
+	if r < 1 || r >= m || m > 26 {
+		return nil, fmt.Errorf("covering: invalid subspace-cover parameters m=%d r=%d", m, r)
+	}
+	var subspaces [][]uint32
+	switch {
+	case m%r == 0:
+		s, err := binarySpread(m, r)
+		if err != nil {
+			return nil, err
+		}
+		subspaces = s
+	case (m-1)%(r-1) == 0:
+		base, err := binarySpread(m-1, r-1)
+		if err != nil {
+			return nil, err
+		}
+		v := uint32(1) << uint(m-1)
+		for _, sub := range base {
+			lifted := make([]uint32, 0, 2*len(sub))
+			for _, x := range sub {
+				lifted = append(lifted, x, x^v)
+			}
+			subspaces = append(subspaces, lifted)
+		}
+	default:
+		return nil, fmt.Errorf("covering: no subspace cover for m=%d r=%d (need r|m or (r-1)|(m-1))", m, r)
+	}
+	d := 1 << uint(m)
+	var blocks [][]int
+	for _, sub := range subspaces {
+		// Enumerate cosets of sub.
+		seen := make([]bool, d)
+		for p := 0; p < d; p++ {
+			if seen[p] {
+				continue
+			}
+			block := make([]int, 0, len(sub))
+			for _, s := range sub {
+				q := p ^ int(s)
+				seen[q] = true
+				block = append(block, q)
+			}
+			sort.Ints(block)
+			blocks = append(blocks, block)
+		}
+	}
+	return &Design{D: d, T: 2, L: 1 << uint(r), Blocks: blocks}, nil
+}
+
+// binarySpread returns a perfect spread of GF(2)^m by r-dimensional
+// subspaces (r | m): disjoint-but-for-zero subspaces whose union is the
+// whole space. Each subspace is returned as its full element list
+// (including 0) encoded as bit vectors. The construction views GF(2)^m
+// as GF(2^r)^{m/r} and takes the 1-dimensional GF(2^r)-subspaces.
+func binarySpread(m, r int) ([][]uint32, error) {
+	if m%r != 0 {
+		return nil, fmt.Errorf("covering: spread needs r|m, got m=%d r=%d", m, r)
+	}
+	q := 1 << uint(r)
+	f, err := newField(q)
+	if err != nil {
+		return nil, fmt.Errorf("covering: spread needs GF(%d): %w", q, err)
+	}
+	n := m / r // GF(2^r)-dimension
+	// Projective points of PG(n-1, q): nonzero tuples whose first
+	// nonzero coordinate is 1.
+	var spread [][]uint32
+	tuple := make([]int, n)
+	var rec func(i int, leadingSeen bool)
+	rec = func(i int, leadingSeen bool) {
+		if i == n {
+			if !leadingSeen {
+				return
+			}
+			sub := make([]uint32, q)
+			for lam := 0; lam < q; lam++ {
+				var vec uint32
+				for j := 0; j < n; j++ {
+					c := f.Mul(lam, tuple[j])
+					// GF(2^e) elements with p=2 are already encoded as
+					// polynomial bit strings, so c is the r-bit chunk.
+					vec |= uint32(c) << uint(j*r)
+				}
+				sub[lam] = vec
+			}
+			spread = append(spread, sub)
+			return
+		}
+		if !leadingSeen {
+			// First nonzero coordinate must be exactly 1.
+			tuple[i] = 0
+			rec(i+1, false)
+			tuple[i] = 1
+			rec(i+1, true)
+			return
+		}
+		for v := 0; v < q; v++ {
+			tuple[i] = v
+			rec(i+1, true)
+		}
+	}
+	rec(0, false)
+	return spread, nil
+}

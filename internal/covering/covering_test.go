@@ -1,0 +1,325 @@
+package covering
+
+import (
+	"testing"
+	"testing/quick"
+
+	"priview/internal/noise"
+)
+
+func TestBinom(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {8, 3, 56},
+		{32, 2, 496}, {45, 2, 990}, {64, 3, 41664}, {4, 5, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binom(c.n, c.k); got != c.want {
+			t.Errorf("Binom(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCoverageRankUnrankRoundTrip(t *testing.T) {
+	cov := newCoverage(10, 3)
+	forEachSubset([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 3, func(sub []int) {
+		r := cov.rank(sub)
+		back := cov.unrank(r)
+		for i := range sub {
+			if back[i] != sub[i] {
+				t.Fatalf("unrank(rank(%v)) = %v", sub, back)
+			}
+		}
+	})
+}
+
+func TestForEachSubsetCount(t *testing.T) {
+	n := 0
+	forEachSubset([]int{1, 4, 6, 9, 12}, 2, func([]int) { n++ })
+	if n != 10 {
+		t.Errorf("enumerated %d 2-subsets of 5 elements, want 10", n)
+	}
+	n = 0
+	forEachSubset([]int{1, 2}, 3, func([]int) { n++ })
+	if n != 0 {
+		t.Errorf("enumerated %d 3-subsets of 2 elements, want 0", n)
+	}
+}
+
+func TestGreedyProducesValidDesigns(t *testing.T) {
+	rng := noise.NewStream(1)
+	cases := []struct{ d, l, t int }{
+		{9, 6, 2}, {16, 8, 2}, {32, 8, 2}, {32, 8, 3}, {20, 5, 3}, {12, 6, 4},
+	}
+	for _, c := range cases {
+		dg := Greedy(c.d, c.l, c.t, rng)
+		if err := dg.Verify(); err != nil {
+			t.Errorf("Greedy(%d,%d,%d): %v", c.d, c.l, c.t, err)
+		}
+	}
+}
+
+func TestGreedyQuality(t *testing.T) {
+	// Greedy should land reasonably close to the Schönheim-style lower
+	// bound: for d=32, ℓ=8, t=2 the bound is 20; allow up to 30.
+	dg := Best(32, 8, 2, 7, 4)
+	if dg.W() > 30 {
+		t.Errorf("C2(8,w) for d=32 has w=%d, want ≤ 30", dg.W())
+	}
+	if err := dg.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupsConstruction(t *testing.T) {
+	dg := Groups(9, 6)
+	if err := dg.Verify(); err != nil {
+		t.Fatalf("Groups(9,6): %v", err)
+	}
+	// This is the paper's C_2(6,3) for MSNBC.
+	if dg.W() != 3 {
+		t.Errorf("Groups(9,6) has w=%d, want 3", dg.W())
+	}
+}
+
+func TestGroupsLargerD(t *testing.T) {
+	for _, c := range []struct{ d, l int }{{32, 8}, {45, 8}, {64, 8}, {10, 4}} {
+		dg := Groups(c.d, c.l)
+		if err := dg.Verify(); err != nil {
+			t.Errorf("Groups(%d,%d): %v", c.d, c.l, err)
+		}
+	}
+}
+
+func TestAffinePlaneOrder8(t *testing.T) {
+	dg, err := AffinePlane(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.D != 64 || dg.W() != 72 || dg.L != 8 {
+		t.Fatalf("AffinePlane(8): d=%d w=%d ℓ=%d, want 64/72/8", dg.D, dg.W(), dg.L)
+	}
+	if err := dg.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffinePlanePairsExactlyOnce(t *testing.T) {
+	// In an affine plane every pair lies on exactly one line.
+	for _, q := range []int{3, 4, 5} {
+		dg, err := AffinePlane(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[[2]int]int{}
+		for _, b := range dg.Blocks {
+			forEachSubset(b, 2, func(sub []int) {
+				counts[[2]int{sub[0], sub[1]}]++
+			})
+		}
+		if len(counts) != Binom(q*q, 2) {
+			t.Fatalf("q=%d: %d pairs covered, want %d", q, len(counts), Binom(q*q, 2))
+		}
+		for pair, c := range counts {
+			if c != 1 {
+				t.Fatalf("q=%d: pair %v on %d lines, want exactly 1", q, pair, c)
+			}
+		}
+	}
+}
+
+func TestAffinePlaneUnsupportedOrder(t *testing.T) {
+	if _, err := AffinePlane(6); err == nil {
+		t.Error("AffinePlane(6) succeeded; 6 is not a prime power")
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9} {
+		f, err := newField(q)
+		if err != nil {
+			t.Fatalf("GF(%d): %v", q, err)
+		}
+		// Every nonzero element must have a multiplicative inverse, and
+		// multiplication must distribute over addition.
+		for a := 1; a < q; a++ {
+			hasInv := false
+			for b := 1; b < q; b++ {
+				if f.Mul(a, b) == 1 {
+					hasInv = true
+					break
+				}
+			}
+			if !hasInv {
+				t.Errorf("GF(%d): %d has no inverse", q, a)
+			}
+		}
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				for c := 0; c < q; c++ {
+					if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+						t.Fatalf("GF(%d): distributivity fails at %d,%d,%d", q, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBestPicksAffineForD64(t *testing.T) {
+	dg := Best(64, 8, 2, 3, 2)
+	if err := dg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if dg.W() != 72 {
+		t.Errorf("Best(64,8,2) has w=%d, want 72 (affine plane)", dg.W())
+	}
+}
+
+// Property: designs produced by Best always cover all t-subsets.
+func TestBestAlwaysValid(t *testing.T) {
+	f := func(seedRaw uint8, dRaw, lRaw, tRaw uint8) bool {
+		d := 6 + int(dRaw)%14 // 6..19
+		l := 3 + int(lRaw)%4  // 3..6
+		tt := 2 + int(tRaw)%2 // 2..3
+		if l > d {
+			l = d
+		}
+		if tt > l {
+			tt = l
+		}
+		dg := Best(d, l, tt, int64(seedRaw), 2)
+		return dg.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoversSet(t *testing.T) {
+	dg := &Design{D: 6, T: 2, L: 3, Blocks: [][]int{{0, 1, 2}, {2, 3, 4}, {0, 4, 5}, {1, 3, 5}, {0, 3, 4}, {1, 2, 5}, {2, 3, 5}, {0, 1, 4}, {1, 2, 4}}}
+	if !dg.CoversSet([]int{2, 3}) {
+		t.Error("CoversSet({2,3}) = false")
+	}
+	if dg.CoversSet([]int{0, 1, 5}) {
+		t.Error("CoversSet({0,1,5}) = true")
+	}
+	if !dg.CoversSet(nil) {
+		t.Error("CoversSet(∅) = false; empty set lies in every block")
+	}
+}
+
+func TestVerifyCatchesGaps(t *testing.T) {
+	dg := &Design{D: 5, T: 2, L: 3, Blocks: [][]int{{0, 1, 2}, {2, 3, 4}}}
+	if err := dg.Verify(); err == nil {
+		t.Error("Verify accepted a design missing pair {0,3}")
+	}
+}
+
+func TestVerifyCatchesMalformedBlocks(t *testing.T) {
+	bad := []*Design{
+		{D: 5, T: 2, L: 3, Blocks: [][]int{{2, 1, 0}}}, // unsorted
+		{D: 5, T: 2, L: 3, Blocks: [][]int{{0, 0, 1}}}, // duplicate
+		{D: 5, T: 2, L: 3, Blocks: [][]int{{0, 1, 7}}}, // out of range
+		{D: 5, T: 2, L: 2, Blocks: [][]int{{0, 1, 2}}}, // too long
+		{D: 5, T: 6, L: 3, Blocks: nil},                // t > ℓ
+	}
+	for i, dg := range bad {
+		if err := dg.Verify(); err == nil {
+			t.Errorf("case %d: Verify accepted malformed design", i)
+		}
+	}
+}
+
+func TestPruneRemovesRedundant(t *testing.T) {
+	dg := &Design{D: 4, T: 2, L: 4, Blocks: [][]int{
+		{0, 1, 2, 3}, {0, 1, 2}, {1, 2, 3},
+	}}
+	dg.prune()
+	if dg.W() != 1 {
+		t.Errorf("prune left %d blocks, want 1", dg.W())
+	}
+	if err := dg.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDesignName(t *testing.T) {
+	dg := &Design{D: 9, T: 2, L: 6, Blocks: [][]int{{0}, {1}, {2}}}
+	if dg.Name() != "C2(6,3)" {
+		t.Errorf("Name = %q", dg.Name())
+	}
+}
+
+func TestBinarySubspaceCoverD32(t *testing.T) {
+	dg, err := BinarySubspaceCover(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.D != 32 || dg.L != 8 || dg.W() != 20 {
+		t.Fatalf("d=%d ℓ=%d w=%d, want 32/8/20 (the paper's C_2(8,20))", dg.D, dg.L, dg.W())
+	}
+	if err := dg.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySubspaceCoverD64(t *testing.T) {
+	dg, err := BinarySubspaceCover(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.W() != 72 {
+		t.Fatalf("w=%d, want 72", dg.W())
+	}
+	if err := dg.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySubspaceCoverD16(t *testing.T) {
+	// d=16, ℓ=4: spread of GF(2)^4 by 2-subspaces: 5 subspaces, 4
+	// cosets each -> w=20... the spread gives (16-1)/(4-1)=5 subspaces
+	// with 4 cosets each, w=20.
+	dg, err := BinarySubspaceCover(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.Verify(); err != nil {
+		t.Error(err)
+	}
+	if dg.W() != 20 {
+		t.Errorf("w=%d, want 20", dg.W())
+	}
+}
+
+func TestBinarySubspaceCoverLiftedRegime(t *testing.T) {
+	// m=7, r=3: 3∤7 but (r−1)=2 divides (m−1)=6, so the lifted spread
+	// applies: d=128, ℓ=8.
+	dg, err := BinarySubspaceCover(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.D != 128 || dg.L != 8 {
+		t.Fatalf("d=%d ℓ=%d, want 128/8", dg.D, dg.L)
+	}
+	if err := dg.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySubspaceCoverUnsupported(t *testing.T) {
+	// m=8, r=3: 3∤8 and 2∤7, so neither regime applies.
+	if _, err := BinarySubspaceCover(8, 3); err == nil {
+		t.Error("m=8 r=3 should be unsupported")
+	}
+	if _, err := BinarySubspaceCover(3, 3); err == nil {
+		t.Error("r >= m should be rejected")
+	}
+}
+
+func TestBestUsesSubspaceCoverForD32(t *testing.T) {
+	dg := Best(32, 8, 2, 1, 2)
+	if dg.W() != 20 {
+		t.Errorf("Best(32,8,2) w=%d, want 20", dg.W())
+	}
+}

@@ -1,0 +1,140 @@
+package covering
+
+import "fmt"
+
+// field implements arithmetic in a small finite field GF(p^e). It backs
+// the affine-plane construction of optimal pair covering designs. Only
+// the orders needed for block sizes up to ~16 are supported.
+type field struct {
+	q   int // order p^e
+	p   int // characteristic
+	e   int // extension degree
+	add [][]int
+	mul [][]int
+}
+
+// irreducible polynomials over GF(p), coefficient i is of x^i, leading
+// coefficient (of x^e) implicit 1. Indexed by [p][e].
+var irreducibles = map[[2]int][]int{
+	{2, 2}: {1, 1},    // x^2 + x + 1
+	{2, 3}: {1, 1, 0}, // x^3 + x + 1
+	{2, 4}: {1, 1, 0, 0},
+	{3, 2}: {1, 0}, // x^2 + 1
+}
+
+var smallPrimes = []int{2, 3, 5, 7, 11, 13}
+
+// newField constructs GF(q) for q a prime or one of the supported prime
+// powers {4, 8, 9, 16}. It returns an error for unsupported orders so
+// callers can fall back to other constructions.
+func newField(q int) (*field, error) {
+	for _, p := range smallPrimes {
+		if q == p {
+			return primeField(p), nil
+		}
+	}
+	type pe struct{ p, e int }
+	var cand pe
+	switch q {
+	case 4:
+		cand = pe{2, 2}
+	case 8:
+		cand = pe{2, 3}
+	case 9:
+		cand = pe{3, 2}
+	case 16:
+		cand = pe{2, 4}
+	default:
+		return nil, fmt.Errorf("covering: GF(%d) not supported", q)
+	}
+	return extensionField(cand.p, cand.e), nil
+}
+
+func primeField(p int) *field {
+	f := &field{q: p, p: p, e: 1}
+	f.add = make([][]int, p)
+	f.mul = make([][]int, p)
+	for i := 0; i < p; i++ {
+		f.add[i] = make([]int, p)
+		f.mul[i] = make([]int, p)
+		for j := 0; j < p; j++ {
+			f.add[i][j] = (i + j) % p
+			f.mul[i][j] = (i * j) % p
+		}
+	}
+	return f
+}
+
+// extensionField builds GF(p^e) representing elements as base-p digit
+// strings encoded in an int: element Σ c_i x^i is encoded as Σ c_i p^i.
+func extensionField(p, e int) *field {
+	q := 1
+	for i := 0; i < e; i++ {
+		q *= p
+	}
+	irr := irreducibles[[2]int{p, e}]
+	f := &field{q: q, p: p, e: e}
+	f.add = make([][]int, q)
+	f.mul = make([][]int, q)
+	for a := 0; a < q; a++ {
+		f.add[a] = make([]int, q)
+		f.mul[a] = make([]int, q)
+	}
+	for a := 0; a < q; a++ {
+		da := digits(a, p, e)
+		for b := a; b < q; b++ {
+			db := digits(b, p, e)
+			// Addition: digit-wise mod p.
+			sum := make([]int, e)
+			for i := 0; i < e; i++ {
+				sum[i] = (da[i] + db[i]) % p
+			}
+			s := undigits(sum, p)
+			f.add[a][b] = s
+			f.add[b][a] = s
+			// Multiplication: polynomial product reduced mod irr.
+			prod := make([]int, 2*e-1)
+			for i := 0; i < e; i++ {
+				for j := 0; j < e; j++ {
+					prod[i+j] = (prod[i+j] + da[i]*db[j]) % p
+				}
+			}
+			// Reduce: x^e ≡ -irr (mod irr), i.e. x^{e+k} folds down.
+			for deg := 2*e - 2; deg >= e; deg-- {
+				c := prod[deg]
+				if c == 0 {
+					continue
+				}
+				prod[deg] = 0
+				for i := 0; i < e; i++ {
+					// x^deg = x^{deg-e} * x^e = x^{deg-e} * (-irr_i x^i)
+					prod[deg-e+i] = ((prod[deg-e+i]-c*irr[i])%p + p*p) % p
+				}
+			}
+			m := undigits(prod[:e], p)
+			f.mul[a][b] = m
+			f.mul[b][a] = m
+		}
+	}
+	return f
+}
+
+func digits(v, p, e int) []int {
+	d := make([]int, e)
+	for i := 0; i < e; i++ {
+		d[i] = v % p
+		v /= p
+	}
+	return d
+}
+
+func undigits(d []int, p int) int {
+	v := 0
+	for i := len(d) - 1; i >= 0; i-- {
+		v = v*p + d[i]
+	}
+	return v
+}
+
+func (f *field) Add(a, b int) int { return f.add[a][b] }
+func (f *field) Mul(a, b int) int { return f.mul[a][b] }

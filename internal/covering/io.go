@@ -1,0 +1,97 @@
+package covering
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteDesign serializes a design in the La Jolla covering repository's
+// text convention: one block per line, space-separated 1-based element
+// indices, preceded by a comment header recording (d, t, ℓ, w).
+func WriteDesign(w io.Writer, dg *Design) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# C%d(%d,%d) on %d points (1-based indices)\n",
+		dg.T, dg.L, dg.W(), dg.D); err != nil {
+		return err
+	}
+	for _, block := range dg.Blocks {
+		for i, a := range block {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(a + 1)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDesign parses a block-per-line design file (the La Jolla
+// repository format: 1-based space-separated indices; lines starting
+// with '#' are comments). The caller supplies the intended (d, t) and
+// the result is verified against them, so a design that fails to cover
+// all t-subsets is rejected at load time rather than surfacing as
+// silent accuracy loss. ℓ is inferred as the largest block.
+//
+// This is the bridge to better-than-constructed designs: the paper's
+// C3(8,106) for d=32, for example, can be fetched from the repository
+// and dropped in where our greedy construction yields w=173.
+func ReadDesign(r io.Reader, d, t int) (*Design, error) {
+	sc := bufio.NewScanner(r)
+	var blocks [][]int
+	maxLen := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		block := make([]int, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("covering: line %d: bad element %q", line, f)
+			}
+			if v < 1 || v > d {
+				return nil, fmt.Errorf("covering: line %d: element %d out of range 1..%d", line, v, d)
+			}
+			block = append(block, v-1)
+		}
+		if len(block) == 0 {
+			continue
+		}
+		sort.Ints(block)
+		for i := 1; i < len(block); i++ {
+			if block[i] == block[i-1] {
+				return nil, fmt.Errorf("covering: line %d: duplicate element %d", line, block[i]+1)
+			}
+		}
+		if len(block) > maxLen {
+			maxLen = len(block)
+		}
+		blocks = append(blocks, block)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("covering: reading design: %w", err)
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("covering: design file has no blocks")
+	}
+	dg := &Design{D: d, T: t, L: maxLen, Blocks: blocks}
+	if err := dg.Verify(); err != nil {
+		return nil, fmt.Errorf("covering: loaded design invalid: %w", err)
+	}
+	return dg, nil
+}

@@ -1,0 +1,80 @@
+package covering
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDesignRoundTrip(t *testing.T) {
+	orig := Best(16, 4, 2, 1, 2)
+	var buf bytes.Buffer
+	if err := WriteDesign(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDesign(&buf, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W() != orig.W() || got.D != 16 || got.T != 2 {
+		t.Fatalf("round trip: w=%d d=%d t=%d", got.W(), got.D, got.T)
+	}
+	for i := range orig.Blocks {
+		if len(got.Blocks[i]) != len(orig.Blocks[i]) {
+			t.Fatal("block sizes changed in round trip")
+		}
+		for j := range orig.Blocks[i] {
+			if got.Blocks[i][j] != orig.Blocks[i][j] {
+				t.Fatal("block contents changed in round trip")
+			}
+		}
+	}
+}
+
+func TestReadDesignLaJollaFormat(t *testing.T) {
+	// The paper's C2(6,3) on 9 points, as the repository would list it.
+	input := `# C(9,6,2) = 3
+1 2 3 4 5 6
+1 2 3 7 8 9
+4 5 6 7 8 9
+`
+	dg, err := ReadDesign(strings.NewReader(input), 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.W() != 3 || dg.L != 6 {
+		t.Errorf("w=%d ℓ=%d, want 3, 6", dg.W(), dg.L)
+	}
+}
+
+func TestReadDesignRejectsBadInput(t *testing.T) {
+	cases := map[string]struct {
+		input string
+		d, t  int
+	}{
+		"empty":         {"", 9, 2},
+		"only comments": {"# nothing\n", 9, 2},
+		"bad element":   {"1 2 x\n", 9, 2},
+		"out of range":  {"1 2 10\n", 9, 2},
+		"zero based":    {"0 1 2\n", 9, 2},
+		"duplicate":     {"1 1 2\n", 9, 2},
+		"gap in cover":  {"1 2 3\n4 5 6\n7 8 9\n", 9, 2}, // cross-group pairs uncovered
+	}
+	for name, c := range cases {
+		if _, err := ReadDesign(strings.NewReader(c.input), c.d, c.t); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadDesignVerifiesCoverage(t *testing.T) {
+	// A valid pair cover read back with t=3 must be rejected (it does
+	// not cover all triples).
+	var buf bytes.Buffer
+	if err := WriteDesign(&buf, Groups(9, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDesign(&buf, 9, 3); err == nil {
+		t.Error("pair cover accepted as a triple cover")
+	}
+}

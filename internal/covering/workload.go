@@ -1,0 +1,172 @@
+package covering
+
+import (
+	"fmt"
+	"sort"
+
+	"priview/internal/noise"
+)
+
+// WorkloadCover builds a view set tailored to a known query workload
+// instead of guaranteeing blanket t-subset coverage: every workload
+// attribute set is fully contained in some block of size ≤ ℓ, so those
+// marginals are answered by direct summation with no coverage error.
+// Blocks are packed greedily (largest sets first, preferring the block
+// with maximal overlap), and every remaining attribute is appended so
+// the design still covers all singletons (T=1). This is the
+// query-driven selection style of the Data Cubes baseline, made to
+// scale by keeping blocks at the PriView view size.
+//
+// Workload sets larger than ℓ are rejected: such marginals cannot be
+// covered by any single view and should be reconstructed via maximum
+// entropy from a standard covering design instead.
+func WorkloadCover(d, l int, workload [][]int, rng *noise.Stream) (*Design, error) {
+	if l < 1 || l > d {
+		return nil, fmt.Errorf("covering: invalid block size ℓ=%d for d=%d", l, d)
+	}
+	sets := make([][]int, 0, len(workload))
+	for wi, w := range workload {
+		s := append([]int(nil), w...)
+		sort.Ints(s)
+		for i, a := range s {
+			if a < 0 || a >= d {
+				return nil, fmt.Errorf("covering: workload set %d has out-of-range attribute %d", wi, a)
+			}
+			if i > 0 && s[i] == s[i-1] {
+				return nil, fmt.Errorf("covering: workload set %d has duplicate attribute %d", wi, a)
+			}
+		}
+		if len(s) > l {
+			return nil, fmt.Errorf("covering: workload set %d has %d attributes, block size is %d", wi, len(s), l)
+		}
+		if len(s) > 0 {
+			sets = append(sets, s)
+		}
+	}
+	// Largest first: big sets constrain packing the most. Ties are
+	// shuffled so restarts explore different packings.
+	if rng != nil {
+		rng.Shuffle(len(sets), func(i, j int) { sets[i], sets[j] = sets[j], sets[i] })
+	}
+	sort.SliceStable(sets, func(i, j int) bool { return len(sets[i]) > len(sets[j]) })
+
+	var blocks [][]int
+	for _, s := range sets {
+		if coveredByAny(blocks, s) {
+			continue
+		}
+		// Best existing block: union fits in ℓ and overlap is maximal.
+		best, bestOverlap := -1, -1
+		for bi, b := range blocks {
+			u := unionSize(b, s)
+			if u > l {
+				continue
+			}
+			overlap := len(b) + len(s) - u
+			if overlap > bestOverlap {
+				bestOverlap, best = overlap, bi
+			}
+		}
+		if best >= 0 {
+			blocks[best] = unionSorted(blocks[best], s)
+		} else {
+			blocks = append(blocks, append([]int(nil), s...))
+		}
+	}
+	// Cover leftover attributes so the design is total (T=1).
+	present := make([]bool, d)
+	for _, b := range blocks {
+		for _, a := range b {
+			present[a] = true
+		}
+	}
+	for a := 0; a < d; a++ {
+		if present[a] {
+			continue
+		}
+		placed := false
+		for bi, b := range blocks {
+			if len(b) < l {
+				blocks[bi] = unionSorted(b, []int{a})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			blocks = append(blocks, []int{a})
+		}
+	}
+	dg := &Design{D: d, T: 1, L: l, Blocks: blocks}
+	if err := dg.Verify(); err != nil {
+		return nil, fmt.Errorf("covering: workload cover construction bug: %w", err)
+	}
+	return dg, nil
+}
+
+func coveredByAny(blocks [][]int, s []int) bool {
+	for _, b := range blocks {
+		if containsAll(b, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func unionSize(a, b []int) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+		n++
+	}
+	return n + (len(a) - i) + (len(b) - j)
+}
+
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// BestWorkloadCover runs several shuffled packings and returns the one
+// with the fewest blocks (fewer views ⇒ less noise per view).
+func BestWorkloadCover(d, l int, workload [][]int, seed int64, restarts int) (*Design, error) {
+	if restarts < 1 {
+		restarts = 1
+	}
+	root := noise.NewStream(seed)
+	var best *Design
+	for r := 0; r < restarts; r++ {
+		dg, err := WorkloadCover(d, l, workload, root.DeriveIndexed("pack", r))
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || dg.W() < best.W() {
+			best = dg
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,123 @@
+package covering
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"priview/internal/noise"
+)
+
+func TestWorkloadCoverContainsEverySet(t *testing.T) {
+	workload := [][]int{
+		{0, 3, 7}, {1, 2}, {4, 5, 6, 8}, {0, 1, 2, 3}, {9, 10},
+	}
+	dg, err := WorkloadCover(12, 6, workload, noise.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workload {
+		sorted := append([]int(nil), w...)
+		sort.Ints(sorted)
+		if !dg.CoversSet(sorted) {
+			t.Errorf("workload set %v not covered by %v", w, dg.Blocks)
+		}
+	}
+	if err := dg.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadCoverCoversAllAttributes(t *testing.T) {
+	// Attributes outside the workload must still appear in some view.
+	dg, err := WorkloadCover(10, 4, [][]int{{0, 1}}, noise.NewStream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 10)
+	for _, b := range dg.Blocks {
+		for _, a := range b {
+			seen[a] = true
+		}
+	}
+	for a, ok := range seen {
+		if !ok {
+			t.Errorf("attribute %d missing from every view", a)
+		}
+	}
+}
+
+func TestWorkloadCoverRejectsBadInput(t *testing.T) {
+	rng := noise.NewStream(3)
+	if _, err := WorkloadCover(8, 3, [][]int{{0, 1, 2, 3}}, rng); err == nil {
+		t.Error("oversized workload set accepted")
+	}
+	if _, err := WorkloadCover(8, 3, [][]int{{0, 9}}, rng); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if _, err := WorkloadCover(8, 3, [][]int{{1, 1}}, rng); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := WorkloadCover(8, 9, nil, rng); err == nil {
+		t.Error("ℓ > d accepted")
+	}
+}
+
+// Property: every packing covers the workload, regardless of shuffle.
+func TestWorkloadCoverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 10 + r.Intn(20)
+		l := 4 + r.Intn(4)
+		var workload [][]int
+		for i := 0; i < 12; i++ {
+			k := 2 + r.Intn(l-1)
+			perm := r.Perm(d)[:k]
+			sort.Ints(perm)
+			workload = append(workload, perm)
+		}
+		dg, err := WorkloadCover(d, l, workload, noise.NewStream(seed))
+		if err != nil {
+			return false
+		}
+		for _, w := range workload {
+			if !dg.CoversSet(w) {
+				return false
+			}
+		}
+		return dg.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestWorkloadCoverNotWorse(t *testing.T) {
+	workload := [][]int{
+		{0, 1, 2}, {2, 3, 4}, {4, 5, 6}, {6, 7, 0}, {1, 3, 5}, {2, 5, 7},
+	}
+	single, err := WorkloadCover(8, 6, workload, noise.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestWorkloadCover(8, 6, workload, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.W() > single.W() {
+		t.Errorf("restart search (%d blocks) worse than single run (%d)", best.W(), single.W())
+	}
+}
+
+func TestWorkloadCoverDedupesIdenticalSets(t *testing.T) {
+	workload := [][]int{{0, 1}, {1, 0}, {0, 1}}
+	dg, err := WorkloadCover(4, 2, workload, noise.NewStream(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 block for {0,1} plus blocks for leftover attrs 2, 3.
+	if dg.W() > 3 {
+		t.Errorf("w = %d, want ≤ 3", dg.W())
+	}
+}

@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `city,plan,active
+paris,free,yes
+paris,pro,yes
+lyon,free,no
+paris,free,
+lyon,pro,yes
+`
+
+func TestFromCSVBasic(t *testing.T) {
+	data, spec, err := FromCSV(strings.NewReader(sampleCSV), OneHotOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != 5 {
+		t.Fatalf("N = %d, want 5", data.Len())
+	}
+	// Distinct pairs: city∈{paris,lyon}, plan∈{free,pro},
+	// active∈{yes,no} → 6 attributes.
+	if data.Dim() != 6 {
+		t.Fatalf("d = %d, want 6", data.Dim())
+	}
+	// Find the attribute for city=paris and verify its count.
+	parisBit := -1
+	for i := 0; i < data.Dim(); i++ {
+		if spec.AttrName(i) == "city=paris" {
+			parisBit = i
+		}
+	}
+	if parisBit < 0 {
+		t.Fatal("city=paris attribute missing")
+	}
+	count := 0
+	for _, r := range data.Records() {
+		if r>>uint(parisBit)&1 == 1 {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Errorf("city=paris count = %d, want 3", count)
+	}
+}
+
+func TestFromCSVEmptyCellsIgnored(t *testing.T) {
+	data, spec, err := FromCSV(strings.NewReader(sampleCSV), OneHotOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.Dim(); i++ {
+		if strings.HasSuffix(spec.AttrName(i), "=") {
+			t.Errorf("empty value became an attribute: %s", spec.AttrName(i))
+		}
+	}
+}
+
+func TestFromCSVMaxAttrsKeepsMostFrequent(t *testing.T) {
+	data, spec, err := FromCSV(strings.NewReader(sampleCSV), OneHotOptions{HasHeader: true, MaxAttrs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Dim() != 2 {
+		t.Fatalf("d = %d, want 2", data.Dim())
+	}
+	// city=paris (3) and plan=free (3) are the most frequent pairs.
+	names := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		names[spec.AttrName(i)] = true
+	}
+	if !names["city=paris"] || !names["plan=free"] {
+		t.Errorf("kept attributes %v, want the two most frequent", names)
+	}
+}
+
+func TestFromCSVMinCount(t *testing.T) {
+	data, _, err := FromCSV(strings.NewReader(sampleCSV), OneHotOptions{HasHeader: true, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// city=paris, plan=free and active=yes each occur 3 times.
+	if data.Dim() != 3 {
+		t.Errorf("d = %d, want 3 (only pairs with ≥3 occurrences)", data.Dim())
+	}
+}
+
+func TestFromCSVNoHeader(t *testing.T) {
+	_, spec, err := FromCSV(strings.NewReader("a,b\nc,b\n"), OneHotOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Header[0] != "col0" || spec.Header[1] != "col1" {
+		t.Errorf("synthesized header = %v", spec.Header)
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	cases := map[string]struct {
+		csv  string
+		opts OneHotOptions
+	}{
+		"empty":          {"", OneHotOptions{}},
+		"ragged":         {"a,b\nc\n", OneHotOptions{}},
+		"all empty":      {",\n,\n", OneHotOptions{}},
+		"mincount kills": {"a\nb\n", OneHotOptions{MinCount: 10}},
+		"header only":    {"a,b\n", OneHotOptions{HasHeader: true}},
+	}
+	for name, c := range cases {
+		if _, _, err := FromCSV(strings.NewReader(c.csv), c.opts); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestFromCSVDeterministicOrder(t *testing.T) {
+	a, specA, err := FromCSV(strings.NewReader(sampleCSV), OneHotOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, specB, err := FromCSV(strings.NewReader(sampleCSV), OneHotOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Dim(); i++ {
+		if specA.AttrName(i) != specB.AttrName(i) {
+			t.Fatal("attribute order not deterministic")
+		}
+	}
+	for i := range a.Records() {
+		if a.Record(i) != b.Record(i) {
+			t.Fatal("records differ between identical parses")
+		}
+	}
+}

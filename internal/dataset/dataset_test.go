@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMasksHighBits(t *testing.T) {
+	d := New(3, []uint64{0xFF})
+	if d.Record(0) != 0x7 {
+		t.Errorf("record = %b, want 111", d.Record(0))
+	}
+}
+
+func TestNewRejectsBadDim(t *testing.T) {
+	for _, dim := range []int{0, -1, 65} {
+		func() {
+			defer func() { _ = recover() }()
+			New(dim, nil)
+			t.Errorf("New(%d) did not panic", dim)
+		}()
+	}
+}
+
+func TestDim64Allowed(t *testing.T) {
+	d := New(64, []uint64{^uint64(0)})
+	if d.Record(0) != ^uint64(0) {
+		t.Error("dim-64 record corrupted")
+	}
+}
+
+func TestMarginalCountsExactly(t *testing.T) {
+	// Records over 4 attrs: 0b0011, 0b0011, 0b0101, 0b1111.
+	d := New(4, []uint64{0b0011, 0b0011, 0b0101, 0b1111})
+	m := d.Marginal([]int{0, 1})
+	// attr0,attr1 pairs: (1,1) x2, (1,0), (1,1) -> idx 3:3, idx 1:1.
+	want := []float64{0, 1, 0, 3}
+	if !reflect.DeepEqual(m.Cells, want) {
+		t.Errorf("marginal = %v, want %v", m.Cells, want)
+	}
+	m2 := d.Marginal([]int{3})
+	if m2.Cells[0] != 3 || m2.Cells[1] != 1 {
+		t.Errorf("marginal over {3} = %v", m2.Cells)
+	}
+}
+
+func TestMarginalTotalEqualsN(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(100)
+		recs := make([]uint64, n)
+		for i := range recs {
+			recs[i] = uint64(r.Int63())
+		}
+		d := New(10, recs)
+		m := d.Marginal([]int{1, 4, 7})
+		return m.Total() == float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a marginal computed directly equals the projection of any
+// wider marginal that covers it.
+func TestMarginalConsistentWithProjection(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs := make([]uint64, 200)
+		for i := range recs {
+			recs[i] = uint64(r.Int63())
+		}
+		d := New(12, recs)
+		wide := d.Marginal([]int{2, 3, 5, 8, 11})
+		direct := d.Marginal([]int{3, 8})
+		proj := wide.Project([]int{3, 8})
+		for i := range direct.Cells {
+			if direct.Cells[i] != proj.Cells[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarginalPanicsOnBadAttr(t *testing.T) {
+	d := New(4, []uint64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Marginal([]int{4})
+}
+
+func TestFullContingency(t *testing.T) {
+	d := New(2, []uint64{0, 1, 1, 3})
+	full := d.FullContingency()
+	want := []float64{1, 2, 0, 1}
+	if !reflect.DeepEqual(full.Cells, want) {
+		t.Errorf("full = %v, want %v", full.Cells, want)
+	}
+}
+
+func TestOneWayDensities(t *testing.T) {
+	d := New(3, []uint64{0b001, 0b011, 0b111, 0b000})
+	got := d.OneWayDensities()
+	want := []float64{0.75, 0.5, 0.25}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("densities = %v, want %v", got, want)
+	}
+}
+
+func TestOneWayDensitiesEmpty(t *testing.T) {
+	d := New(3, nil)
+	got := d.OneWayDensities()
+	if got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("densities of empty dataset = %v", got)
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	orig := New(5, []uint64{0b10101, 0b00011, 0b11111, 0})
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != 5 || got.Len() != 4 {
+		t.Fatalf("round trip dim=%d len=%d", got.Dim(), got.Len())
+	}
+	if !reflect.DeepEqual(got.Records(), orig.Records()) {
+		t.Errorf("records = %v, want %v", got.Records(), orig.Records())
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	cases := []string{
+		"",           // no header
+		"3 2\n101\n", // truncated
+		"3 1\n10\n",  // short record
+		"3 1\n1x1\n", // bad character
+		"99 0\n",     // dim out of range
+		"3 -1\n",     // negative count
+	}
+	for _, c := range cases {
+		if _, err := ReadFrom(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadFrom(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	d := New(4, nil)
+	if !reflect.DeepEqual(d.Attrs(), []int{0, 1, 2, 3}) {
+		t.Errorf("Attrs = %v", d.Attrs())
+	}
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrom hardens the dataset text parser: arbitrary input must
+// either parse into a dataset that round-trips, or fail cleanly.
+func FuzzReadFrom(f *testing.F) {
+	f.Add("3 2\n101\n010\n")
+	f.Add("1 1\n1\n")
+	f.Add("64 1\n" + strings.Repeat("1", 64) + "\n")
+	f.Add("")
+	f.Add("3 1\nxxx\n")
+	f.Add("3 -5\n")
+	f.Add("0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadFrom(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Successful parses must round-trip exactly.
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo failed on parsed dataset: %v", err)
+		}
+		d2, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if d2.Dim() != d.Dim() || d2.Len() != d.Len() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d", d.Dim(), d.Len(), d2.Dim(), d2.Len())
+		}
+		for i := range d.Records() {
+			if d.Record(i) != d2.Record(i) {
+				t.Fatal("round trip changed records")
+			}
+		}
+	})
+}
+
+// FuzzFromCSV hardens the one-hot encoder.
+func FuzzFromCSV(f *testing.F) {
+	f.Add("a,b\nc,d\n", true)
+	f.Add("x\ny\nz\n", false)
+	f.Add(",,,\n,,,\n", false)
+	f.Add("\"quo,ted\",v\nw,\n", true)
+	f.Fuzz(func(t *testing.T, input string, header bool) {
+		data, spec, err := FromCSV(strings.NewReader(input), OneHotOptions{HasHeader: header})
+		if err != nil {
+			return
+		}
+		if data.Dim() < 1 || data.Dim() > MaxDim {
+			t.Fatalf("dimension %d out of range", data.Dim())
+		}
+		if len(spec.Columns) != data.Dim() || len(spec.Values) != data.Dim() {
+			t.Fatal("spec misaligned with dataset")
+		}
+		for i := 0; i < data.Dim(); i++ {
+			if spec.Columns[i] < 0 || spec.Columns[i] >= len(spec.Header) {
+				t.Fatalf("spec column %d out of header range", spec.Columns[i])
+			}
+			_ = spec.AttrName(i) // must not panic
+		}
+	})
+}

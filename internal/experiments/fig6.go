@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"priview/internal/core"
+	"priview/internal/covering"
+	"priview/internal/noise"
+)
+
+// RunFig6 reproduces Figure 6: PriView accuracy under different covering
+// designs on Kosarak — pair and triple coverage with several view sizes
+// ℓ — alongside the Eq. 5 predicted noise error for each design (the
+// purple stars in the paper's plot).
+func RunFig6(cfg Config) []Row {
+	cfg = cfg.orDefaults()
+	ds := kosarakSetup(cfg)
+	root := noise.NewStream(cfg.Seed).Derive("fig6")
+	nf := float64(ds.data.Len())
+
+	type designSpec struct{ ell, t int }
+	specs := []designSpec{
+		{6, 2}, {8, 2}, {10, 2}, {8, 3}, {10, 3},
+	}
+	var designs []*covering.Design
+	for _, s := range specs {
+		designs = append(designs, covering.Best(32, s.ell, s.t, cfg.Seed, 4))
+	}
+
+	var rows []Row
+	for _, eps := range fig2Epsilons {
+		epsKey := int(eps * 1000)
+		built := make([][]*core.Synopsis, len(designs))
+		for i, dg := range designs {
+			built[i] = make([]*core.Synopsis, cfg.Runs)
+			for run := 0; run < cfg.Runs; run++ {
+				built[i][run] = core.BuildSynopsis(ds.data, core.Config{Epsilon: eps, Design: dg},
+					root.DeriveIndexed(dg.Name(), run*100000+epsKey))
+			}
+		}
+		for _, k := range fig3Ks {
+			queries := sampleQuerySets(32, k, cfg.Queries, root.DeriveIndexed("queries", k))
+			truths := trueMarginals(ds.data, queries)
+			for i, dg := range designs {
+				i, design := i, dg
+				rows = append(rows, Row{
+					Experiment: "fig6", Dataset: "Kosarak", Method: design.Name(),
+					Epsilon: eps, K: k, Metric: "L2n",
+					Stats: evalL2(func(run int) synopsis {
+						return built[i][run]
+					}, queries, truths, nf, cfg.Runs),
+				})
+				// Eq. 5 predicted noise error (star marker in the paper);
+				// independent of k, emitted once per (design, eps).
+				if k == fig3Ks[0] {
+					rows = append(rows, Row{
+						Experiment: "fig6", Dataset: "Kosarak", Method: design.Name(),
+						Epsilon: eps, K: 0, Metric: "L2n",
+						Stats: constantCandlestick(core.NoiseError(design, eps, ds.data.Len())),
+						Note:  "eq5-noise-error",
+					})
+				}
+			}
+		}
+	}
+	return rows
+}

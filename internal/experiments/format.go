@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FormatRows renders result rows as an aligned text table, grouped the
+// way the paper's figures panel them (dataset, then ε, then k).
+func FormatRows(rows []Row) string {
+	var b strings.Builder
+	header := fmt.Sprintf("%-6s %-8s %-18s %-5s %-3s %-4s %12s %12s %12s %12s %12s  %s",
+		"exp", "dataset", "method", "eps", "k", "met", "p25", "median", "p75", "p95", "mean", "note")
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %-8s %-18s %-5g %-3d %-4s %12.4g %12.4g %12.4g %12.4g %12.4g  %s\n",
+			r.Experiment, r.Dataset, r.Method, r.Epsilon, r.K, r.Metric,
+			r.Stats.P25, r.Stats.Median, r.Stats.P75, r.Stats.P95, r.Stats.Mean, r.Note)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the rows as CSV for downstream plotting.
+func WriteCSV(w io.Writer, rows []Row) error {
+	if _, err := io.WriteString(w, "experiment,dataset,method,epsilon,k,metric,p25,median,p75,p95,mean,note\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%g,%d,%s,%g,%g,%g,%g,%g,%s\n",
+			csvEscape(r.Experiment), csvEscape(r.Dataset), csvEscape(r.Method),
+			r.Epsilon, r.K, r.Metric,
+			r.Stats.P25, r.Stats.Median, r.Stats.P75, r.Stats.P95, r.Stats.Mean,
+			csvEscape(r.Note))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"priview/internal/core"
+	"priview/internal/covering"
+	"priview/internal/dataset"
+	"priview/internal/noise"
+)
+
+// RuntimeRow is one row of the §4.6 running-time table: synopsis
+// publication time P and single-marginal reconstruction times Q6, Q8
+// for one (dataset, design) pair.
+type RuntimeRow struct {
+	Dataset string
+	Design  string
+	P       time.Duration
+	Q6      time.Duration
+	Q8      time.Duration
+}
+
+// RunTabRuntime reproduces the §4.6 table: wall-clock time to publish
+// the synopsis (P) and to reconstruct one 6-way and one 8-way marginal
+// (Q6, Q8) for Kosarak with its t=2/t=3 designs and AOL with its
+// t=2/t=3 designs.
+func RunTabRuntime(cfg Config) []RuntimeRow {
+	cfg = cfg.orDefaults()
+	var rows []RuntimeRow
+	kos := kosarakSetup(cfg)
+	rows = append(rows,
+		measureRuntime(cfg, kos.name, kos.data, kos.c2),
+		measureRuntime(cfg, kos.name, kos.data, kos.c3),
+	)
+	aol := aolSetup(cfg)
+	aolC3 := covering.Best(45, 8, 3, cfg.Seed, 2)
+	rows = append(rows,
+		measureRuntime(cfg, aol.name, aol.data, aol.c2),
+		measureRuntime(cfg, aol.name, aol.data, aolC3),
+	)
+	return rows
+}
+
+func measureRuntime(cfg Config, name string, data *dataset.Dataset, design *covering.Design) RuntimeRow {
+	src := noise.NewStream(cfg.Seed).Derive("runtime-" + name + design.Name())
+	start := time.Now()
+	syn := core.BuildSynopsis(data, core.Config{Epsilon: 1.0, Design: design}, src)
+	p := time.Since(start)
+
+	rng := noise.NewStream(cfg.Seed).Derive("runtime-queries")
+	q6attrs := sampleQuerySets(data.Dim(), 6, 1, rng)[0]
+	start = time.Now()
+	syn.Query(q6attrs)
+	q6 := time.Since(start)
+
+	q8attrs := sampleQuerySets(data.Dim(), 8, 1, rng)[0]
+	start = time.Now()
+	syn.Query(q8attrs)
+	q8 := time.Since(start)
+
+	return RuntimeRow{Dataset: name, Design: design.Name(), P: p, Q6: q6, Q8: q8}
+}
+
+// FormatRuntime renders the runtime rows like the paper's table.
+func FormatRuntime(rows []RuntimeRow) string {
+	out := "== tab-runtime: synopsis publication and reconstruction times (paper, Python: P=8.8s-593s, Q6=0.16s-11.8s, Q8=2.8s-77.5s) ==\n"
+	out += fmt.Sprintf("%-8s  %-12s  %-12s  %-12s  %-12s\n", "dataset", "design", "P", "Q6", "Q8")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-8s  %-12s  %-12v  %-12v  %-12v\n", r.Dataset, r.Design, r.P.Round(time.Millisecond), r.Q6.Round(time.Millisecond), r.Q8.Round(time.Millisecond))
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package fourier
+
+import "testing"
+
+func benchVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i%13) - 6
+	}
+	return v
+}
+
+func BenchmarkWHT256(b *testing.B) {
+	v := benchVec(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WHT(v)
+	}
+}
+
+func BenchmarkWHT4096(b *testing.B) {
+	v := benchVec(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WHT(v)
+	}
+}
+
+func BenchmarkSubsetMasks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SubsetMasks(16, 4)
+	}
+}

@@ -1,0 +1,50 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a bounded random LP with nv variables and nc
+// inequality constraints.
+func benchProblem(nv, nc int, seed int64) *Problem {
+	r := rand.New(rand.NewSource(seed))
+	p := &Problem{NumVars: nv, Objective: make([]float64, nv)}
+	for j := range p.Objective {
+		p.Objective[j] = r.Float64()*2 - 1
+	}
+	for i := 0; i < nc; i++ {
+		coef := make([]float64, nv)
+		for j := range coef {
+			coef[j] = r.Float64()
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coef: coef, Rel: LE, B: 1 + r.Float64()*4})
+	}
+	// Keep it bounded below along negative-cost directions.
+	for j := 0; j < nv; j++ {
+		coef := make([]float64, nv)
+		coef[j] = 1
+		p.Constraints = append(p.Constraints, Constraint{Coef: coef, Rel: LE, B: 10})
+	}
+	return p
+}
+
+func BenchmarkSimplex30x20(b *testing.B) {
+	p := benchProblem(30, 20, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplex100x80(b *testing.B) {
+	p := benchProblem(100, 80, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

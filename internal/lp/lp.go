@@ -1,0 +1,318 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x (≤ | = | ≥) b_i   for each constraint i
+//	            x ≥ 0
+//
+// It backs PriView's linear-programming reconstruction method and the
+// FourierLP baseline (Barak et al.). Problems in this repository are
+// small and dense (hundreds of variables), so a tableau implementation
+// with Dantzig pricing and a Bland anti-cycling fallback is the right
+// trade-off between robustness and code complexity.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint's comparison operator.
+type Relation int
+
+const (
+	LE Relation = iota // a·x ≤ b
+	GE                 // a·x ≥ b
+	EQ                 // a·x = b
+)
+
+// Constraint is one row a·x (rel) b. Coef may be sparse via zero entries;
+// its length must equal the problem's variable count.
+type Constraint struct {
+	Coef []float64
+	Rel  Relation
+	B    float64
+}
+
+// Problem is a linear program over n non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars; minimized
+	Constraints []Constraint
+}
+
+// Solution holds the optimal point and objective value.
+type Solution struct {
+	X   []float64
+	Obj float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const (
+	eps     = 1e-9
+	maxIter = 500000
+)
+
+// tableau holds the dense simplex state.
+type tableau struct {
+	rows    [][]float64 // m constraint rows plus the objective row
+	m       int         // constraint rows
+	cols    int         // columns excluding the b column
+	basis   []int
+	blocked []bool // columns barred from entering (artificials in phase 2)
+}
+
+// Solve runs two-phase simplex and returns the optimal solution.
+func Solve(p *Problem) (*Solution, error) {
+	n := p.NumVars
+	if n <= 0 {
+		return nil, errors.New("lp: no variables")
+	}
+	if len(p.Objective) != n {
+		return nil, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), n)
+	}
+	m := len(p.Constraints)
+	for i, c := range p.Constraints {
+		if len(c.Coef) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coef), n)
+		}
+	}
+
+	// Normalize rows to b ≥ 0 and decide slack/artificial needs.
+	type rowSpec struct {
+		coef  []float64
+		b     float64
+		slack int // +1 for ≤, -1 for ≥, 0 for =
+	}
+	rows := make([]rowSpec, m)
+	slackCount := 0
+	artCount := 0
+	for i, c := range p.Constraints {
+		coef := append([]float64(nil), c.Coef...)
+		b := c.B
+		rel := c.Rel
+		if b < 0 {
+			for j := range coef {
+				coef[j] = -coef[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		spec := rowSpec{coef: coef, b: b}
+		switch rel {
+		case LE:
+			spec.slack = 1
+			slackCount++
+		case GE:
+			spec.slack = -1
+			slackCount++
+			artCount++
+		case EQ:
+			artCount++
+		}
+		rows[i] = spec
+	}
+
+	cols := n + slackCount + artCount
+	t := &tableau{
+		rows:    make([][]float64, m+1),
+		m:       m,
+		cols:    cols,
+		basis:   make([]int, m),
+		blocked: make([]bool, cols),
+	}
+	for i := range t.rows {
+		t.rows[i] = make([]float64, cols+1)
+	}
+	slackIdx := n
+	artIdx := n + slackCount
+	firstArt := artIdx
+	for i, r := range rows {
+		copy(t.rows[i], r.coef)
+		t.rows[i][cols] = r.b
+		switch r.slack {
+		case 1:
+			t.rows[i][slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case -1:
+			t.rows[i][slackIdx] = -1
+			slackIdx++
+			t.rows[i][artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		default:
+			t.rows[i][artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		}
+	}
+
+	if artCount > 0 {
+		// Phase 1: minimize the sum of artificials. The reduced
+		// objective row starts as −Σ (rows with artificial basis).
+		obj := t.rows[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for j := firstArt; j < cols; j++ {
+			obj[j] = 1
+		}
+		for i, bi := range t.basis {
+			if bi >= firstArt {
+				ri := t.rows[i]
+				for j := 0; j <= cols; j++ {
+					obj[j] -= ri[j]
+				}
+			}
+		}
+		if err := t.iterate(); err != nil {
+			return nil, err
+		}
+		if t.rows[m][cols] < -eps {
+			return nil, ErrInfeasible
+		}
+		// Drive remaining basic artificials out; block all artificials
+		// from re-entering.
+		for i, bi := range t.basis {
+			if bi < firstArt {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < firstArt; j++ {
+				if math.Abs(t.rows[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it out.
+				for j := 0; j <= cols; j++ {
+					t.rows[i][j] = 0
+				}
+			}
+		}
+		for j := firstArt; j < cols; j++ {
+			t.blocked[j] = true
+		}
+	}
+
+	// Phase 2: install the real objective, reduced over the current
+	// basis.
+	obj := t.rows[m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = p.Objective[j]
+	}
+	for i, bi := range t.basis {
+		f := obj[bi]
+		if f != 0 {
+			ri := t.rows[i]
+			for j := 0; j <= cols; j++ {
+				obj[j] -= f * ri[j]
+			}
+		}
+	}
+	if err := t.iterate(); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, bi := range t.basis {
+		if bi < n {
+			x[bi] = t.rows[i][cols]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.Objective[j] * x[j]
+	}
+	return &Solution{X: x, Obj: objVal}, nil
+}
+
+// iterate runs primal simplex until optimal, using Dantzig's rule with a
+// fallback to Bland's rule after a stall budget to guarantee
+// termination.
+func (t *tableau) iterate() error {
+	const blandAfter = 20000
+	obj := t.rows[t.m]
+	for iter := 0; iter < maxIter; iter++ {
+		enter := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < t.cols; j++ {
+				if rc := obj[j]; rc < best && !t.blocked[j] {
+					best = rc
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < t.cols; j++ {
+				if obj[j] < -eps && !t.blocked[j] {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Leaving row: min ratio test; ties toward smallest basis var.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][enter]
+			if a > eps {
+				ratio := t.rows[i][t.cols] / a
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+// pivot performs a full tableau pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	inv := 1 / pr[col]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i, ri := range t.rows {
+		if i == row {
+			continue
+		}
+		f := ri[col]
+		if f == 0 {
+			continue
+		}
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+	}
+	t.basis[row] = col
+}

@@ -1,0 +1,122 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqualityWithNegativeRHS(t *testing.T) {
+	// x - y = -3, min x + y -> x=0, y=3.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, -1}, Rel: EQ, B: -3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 3, 1e-6) || !approx(s.X[1], 3, 1e-6) {
+		t.Errorf("obj=%v x=%v", s.Obj, s.X)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	// Pure feasibility problem.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{0, 0},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: GE, B: 2},
+			{Coef: []float64{1, 1}, Rel: LE, B: 4},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.X[0] + s.X[1]
+	if sum < 2-1e-6 || sum > 4+1e-6 {
+		t.Errorf("infeasible point returned: %v", s.X)
+	}
+}
+
+func TestHighlyDegenerate(t *testing.T) {
+	// Many redundant constraints through the same vertex — a classic
+	// cycling trap for naive pivoting.
+	p := &Problem{
+		NumVars:   3,
+		Objective: []float64{-1, -1, -1},
+	}
+	for i := 0; i < 10; i++ {
+		coef := []float64{1, float64(i) / 10, float64(10-i) / 10}
+		p.Constraints = append(p.Constraints, Constraint{Coef: coef, Rel: LE, B: 1})
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(s.Obj) {
+		t.Error("NaN objective")
+	}
+	for _, c := range p.Constraints {
+		dot := 0.0
+		for j := range c.Coef {
+			dot += c.Coef[j] * s.X[j]
+		}
+		if dot > c.B+1e-6 {
+			t.Errorf("constraint violated: %v > %v", dot, c.B)
+		}
+	}
+}
+
+func TestAllConstraintTypesMixed(t *testing.T) {
+	// min 2x+y  s.t. x+y = 5, x ≥ 1, y ≤ 10 → x=1, y=4, obj 6.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: EQ, B: 5},
+			{Coef: []float64{1, 0}, Rel: GE, B: 1},
+			{Coef: []float64{0, 1}, Rel: LE, B: 10},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 6, 1e-6) {
+		t.Errorf("obj = %v, want 6 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestSingleVariable(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: GE, B: 7},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.X[0], 7, 1e-6) {
+		t.Errorf("x = %v, want 7", s.X[0])
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	// min x with x ≥ 0 and no rows: optimum at the origin.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 0, 1e-9) {
+		t.Errorf("obj = %v, want 0", s.Obj)
+	}
+}

@@ -1,0 +1,297 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMaximizationViaNegation(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6 -> x=4, y=0, obj 12.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: LE, B: 4},
+			{Coef: []float64{1, 3}, Rel: LE, B: 6},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, -12, 1e-6) {
+		t.Errorf("obj = %v, want -12", s.Obj)
+	}
+	if !approx(s.X[0], 4, 1e-6) || !approx(s.X[1], 0, 1e-6) {
+		t.Errorf("x = %v, want [4 0]", s.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x + y s.t. x + 2y = 4, x ≥ 0, y ≥ 0 -> y=2, x=0, obj 2.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 2}, Rel: EQ, B: 4},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 2, 1e-6) {
+		t.Errorf("obj = %v, want 2", s.Obj)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10, x ≤ 6 -> x=6, y=4, obj 24.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: GE, B: 10},
+			{Coef: []float64{1, 0}, Rel: LE, B: 6},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 24, 1e-6) {
+		t.Errorf("obj = %v, want 24, x=%v", s.Obj, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: GE, B: 5},
+			{Coef: []float64{1}, Rel: LE, B: 3},
+		},
+	}
+	if _, err := Solve(p); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1}, // maximize x with no upper bound
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: GE, B: 0},
+		},
+	}
+	if _, err := Solve(p); err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y ≤ -2 with min x+y -> y ≥ x+2, best x=0,y=2.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, -1}, Rel: LE, B: -2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 2, 1e-6) {
+		t.Errorf("obj = %v, want 2 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	// Duplicated equality rows exercise artificial-variable cleanup.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: EQ, B: 3},
+			{Coef: []float64{1, 1}, Rel: EQ, B: 3},
+			{Coef: []float64{2, 2}, Rel: EQ, B: 6},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 3, 1e-6) {
+		t.Errorf("obj = %v, want 3 (x=3, y=0)", s.Obj)
+	}
+}
+
+func TestMinimaxFormulation(t *testing.T) {
+	// The reconstruction LP shape: minimize τ subject to
+	// |x_1 - 5| ≤ τ, |x_1 + x_2 - 9| ≤ τ, x, τ ≥ 0.
+	// Optimal: τ=0, x1=5, x2=4.
+	p := &Problem{
+		NumVars:   3, // x1, x2, tau
+		Objective: []float64{0, 0, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 0, -1}, Rel: LE, B: 5},
+			{Coef: []float64{1, 0, 1}, Rel: GE, B: 5},
+			{Coef: []float64{1, 1, -1}, Rel: LE, B: 9},
+			{Coef: []float64{1, 1, 1}, Rel: GE, B: 9},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Obj, 0, 1e-6) {
+		t.Errorf("τ = %v, want 0", s.Obj)
+	}
+	if !approx(s.X[0], 5, 1e-6) {
+		t.Errorf("x1 = %v, want 5", s.X[0])
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}); err == nil {
+		t.Error("accepted zero variables")
+	}
+	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1}}); err == nil {
+		t.Error("accepted wrong objective length")
+	}
+	p := &Problem{NumVars: 1, Objective: []float64{1},
+		Constraints: []Constraint{{Coef: []float64{1, 2}, Rel: LE, B: 1}}}
+	if _, err := Solve(p); err == nil {
+		t.Error("accepted wrong constraint length")
+	}
+}
+
+// Property: for random feasible bounded LPs, the simplex optimum matches
+// a brute-force search over the constraint polytope's vertices in 2D.
+func TestAgainstBruteForce2D(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Random bounded problem: x,y ≤ U constraints keep it bounded.
+		c1 := []float64{1 + r.Float64()*2, 1 + r.Float64()*2}
+		b1 := 2 + r.Float64()*8
+		obj := []float64{r.Float64()*4 - 2, r.Float64()*4 - 2}
+		p := &Problem{
+			NumVars:   2,
+			Objective: obj,
+			Constraints: []Constraint{
+				{Coef: c1, Rel: LE, B: b1},
+				{Coef: []float64{1, 0}, Rel: LE, B: 5},
+				{Coef: []float64{0, 1}, Rel: LE, B: 5},
+			},
+		}
+		s, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		// Brute force over a fine grid (the optimum of an LP over this
+		// polytope is attained at a vertex, so grid search lower-bounds
+		// the gap well enough at this resolution).
+		best := math.Inf(1)
+		for i := 0; i <= 100; i++ {
+			for j := 0; j <= 100; j++ {
+				x := float64(i) * 0.05
+				y := float64(j) * 0.05
+				if c1[0]*x+c1[1]*y <= b1+1e-9 && x <= 5 && y <= 5 {
+					v := obj[0]*x + obj[1]*y
+					if v < best {
+						best = v
+					}
+				}
+			}
+		}
+		return s.Obj <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the returned point always satisfies every constraint.
+func TestSolutionFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(5)
+		m := 2 + r.Intn(5)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = r.Float64()
+		}
+		for i := 0; i < m; i++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = r.Float64()
+			}
+			p.Constraints = append(p.Constraints,
+				Constraint{Coef: coef, Rel: LE, B: 1 + r.Float64()*5})
+		}
+		s, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		for _, c := range p.Constraints {
+			dot := 0.0
+			for j := range c.Coef {
+				dot += c.Coef[j] * s.X[j]
+			}
+			if dot > c.B+1e-6 {
+				return false
+			}
+		}
+		for _, v := range s.X {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargerDenseProblem(t *testing.T) {
+	// Transportation-like LP with 60 vars to exercise pivoting at size.
+	const nv = 60
+	p := &Problem{NumVars: nv, Objective: make([]float64, nv)}
+	r := rand.New(rand.NewSource(42))
+	for j := 0; j < nv; j++ {
+		p.Objective[j] = 1 + r.Float64()
+	}
+	// Sum of all vars = 100; each var ≤ 5.
+	all := make([]float64, nv)
+	for j := range all {
+		all[j] = 1
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coef: all, Rel: EQ, B: 100})
+	for j := 0; j < nv; j++ {
+		coef := make([]float64, nv)
+		coef[j] = 1
+		p.Constraints = append(p.Constraints, Constraint{Coef: coef, Rel: LE, B: 5})
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range s.X {
+		sum += v
+		if v < -1e-9 || v > 5+1e-6 {
+			t.Fatalf("variable out of bounds: %v", v)
+		}
+	}
+	if !approx(sum, 100, 1e-6) {
+		t.Errorf("sum = %v, want 100", sum)
+	}
+}

@@ -1,0 +1,29 @@
+package marginal
+
+import "priview/internal/noise"
+
+// AddLaplace perturbs every cell with an independent Laplace(0, scale)
+// sample drawn from src, in place. This is the only operation in the
+// repository that converts a true marginal into a differentially private
+// one; callers are responsible for the privacy accounting that determines
+// scale.
+func (t *Table) AddLaplace(src noise.Source, scale float64) {
+	for i := range t.Cells {
+		t.Cells[i] += noise.Laplace(src, scale)
+	}
+}
+
+// NoisyCopy returns a Laplace-perturbed copy of the table.
+func (t *Table) NoisyCopy(src noise.Source, scale float64) *Table {
+	c := t.Clone()
+	c.AddLaplace(src, scale)
+	return c
+}
+
+// AddGaussian perturbs every cell with independent N(0, sigma²) noise,
+// in place — the (ε, δ)-DP alternative to AddLaplace.
+func (t *Table) AddGaussian(src noise.Source, sigma float64) {
+	for i := range t.Cells {
+		t.Cells[i] += noise.Gaussian(src, sigma)
+	}
+}

@@ -1,0 +1,333 @@
+// Package marginal implements marginal contingency tables over subsets
+// of binary attributes, together with the projection, noising and
+// normalization operations the PriView pipeline is built from.
+//
+// A table over an attribute set A = {a_0 < a_1 < ... < a_{m-1}} has 2^m
+// cells. Cell index i encodes the assignment in which attribute a_j takes
+// the value of bit j of i. All tables keep their attribute list sorted
+// ascending so that two tables over the same set index cells identically.
+package marginal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Table is a (possibly noisy) marginal contingency table over a set of
+// binary attributes identified by their global indices.
+type Table struct {
+	// Attrs lists the attributes the table marginalizes over, sorted
+	// ascending. It must not be mutated after construction.
+	Attrs []int
+	// Cells holds one count per assignment; len(Cells) == 1<<len(Attrs).
+	Cells []float64
+}
+
+// New returns a zeroed table over the given attributes. The attribute
+// slice is copied and sorted; duplicates cause a panic because a marginal
+// over a multiset of attributes is meaningless.
+func New(attrs []int) *Table {
+	a := append([]int(nil), attrs...)
+	sort.Ints(a)
+	for i := 1; i < len(a); i++ {
+		if a[i] == a[i-1] {
+			panic(fmt.Sprintf("marginal: duplicate attribute %d", a[i]))
+		}
+	}
+	if len(a) > 30 {
+		panic(fmt.Sprintf("marginal: table over %d attributes would need 2^%d cells", len(a), len(a)))
+	}
+	return &Table{Attrs: a, Cells: make([]float64, 1<<uint(len(a)))}
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		Attrs: append([]int(nil), t.Attrs...),
+		Cells: append([]float64(nil), t.Cells...),
+	}
+	return c
+}
+
+// Dim returns the number of attributes the table covers.
+func (t *Table) Dim() int { return len(t.Attrs) }
+
+// Size returns the number of cells, 2^Dim.
+func (t *Table) Size() int { return len(t.Cells) }
+
+// Total returns the sum of all cells, i.e. T_A[∅] in the paper's
+// notation. For a noise-free table this is N, the dataset size.
+func (t *Table) Total() float64 {
+	sum := 0.0
+	for _, v := range t.Cells {
+		sum += v
+	}
+	return sum
+}
+
+// HasAttr reports whether the table covers the given attribute.
+func (t *Table) HasAttr(a int) bool {
+	i := sort.SearchInts(t.Attrs, a)
+	return i < len(t.Attrs) && t.Attrs[i] == a
+}
+
+// Positions returns, for each attribute in sub, its bit position within
+// the table's attribute list. It panics if sub contains an attribute the
+// table does not cover: projecting onto an uncovered attribute is always
+// a caller bug.
+func (t *Table) Positions(sub []int) []int {
+	pos := make([]int, len(sub))
+	for i, a := range sub {
+		j := sort.SearchInts(t.Attrs, a)
+		if j >= len(t.Attrs) || t.Attrs[j] != a {
+			panic(fmt.Sprintf("marginal: attribute %d not in table over %v", a, t.Attrs))
+		}
+		pos[i] = j
+	}
+	return pos
+}
+
+// RestrictIndex maps a cell index of this table to the corresponding cell
+// index of a table over the sub-attributes whose bit positions (within
+// this table) are given by pos. pos must be sorted ascending, which is
+// automatic when produced by Positions on a sorted sub-set.
+func RestrictIndex(idx int, pos []int) int {
+	out := 0
+	for j, p := range pos {
+		out |= ((idx >> uint(p)) & 1) << uint(j)
+	}
+	return out
+}
+
+// Project returns the marginal table over sub ⊆ Attrs, written T_A[sub]
+// in the paper: cells of the projection are sums of the cells of t that
+// agree with the corresponding assignment of sub.
+func (t *Table) Project(sub []int) *Table {
+	out := New(sub)
+	pos := t.Positions(out.Attrs)
+	for i, v := range t.Cells {
+		out.Cells[RestrictIndex(i, pos)] += v
+	}
+	return out
+}
+
+// AddInto adds src's cells into t. Both tables must cover exactly the
+// same attribute set.
+func (t *Table) AddInto(src *Table) {
+	if !sameAttrs(t.Attrs, src.Attrs) {
+		panic("marginal: AddInto over mismatched attribute sets")
+	}
+	for i := range t.Cells {
+		t.Cells[i] += src.Cells[i]
+	}
+}
+
+// Scale multiplies every cell by f in place.
+func (t *Table) Scale(f float64) {
+	for i := range t.Cells {
+		t.Cells[i] *= f
+	}
+}
+
+// Fill sets every cell to v.
+func (t *Table) Fill(v float64) {
+	for i := range t.Cells {
+		t.Cells[i] = v
+	}
+}
+
+// Uniform returns a table over attrs in which the given total mass is
+// spread evenly over all cells. This is the paper's Uniform baseline for
+// a single marginal.
+func Uniform(attrs []int, total float64) *Table {
+	t := New(attrs)
+	t.Fill(total / float64(len(t.Cells)))
+	return t
+}
+
+// Normalize divides every cell by the total so that cells sum to 1,
+// yielding norm(T) in the paper. A table with non-positive total cannot
+// be normalized meaningfully; it is replaced by the uniform distribution,
+// which is what a consumer with no usable information must assume.
+func (t *Table) Normalize() {
+	total := t.Total()
+	if total <= 0 {
+		t.Fill(1 / float64(len(t.Cells)))
+		return
+	}
+	t.Scale(1 / total)
+}
+
+// Normalized returns a normalized copy, leaving t untouched.
+func (t *Table) Normalized() *Table {
+	c := t.Clone()
+	c.Normalize()
+	return c
+}
+
+// ClampNegatives sets every negative cell to zero in place and returns
+// the amount of mass that was removed (as a non-negative number).
+func (t *Table) ClampNegatives() float64 {
+	removed := 0.0
+	for i, v := range t.Cells {
+		if v < 0 {
+			removed -= v
+			t.Cells[i] = 0
+		}
+	}
+	return removed
+}
+
+// L2Distance returns the Euclidean distance between two tables over the
+// same attribute set, viewed as vectors of 2^k cells.
+func L2Distance(a, b *Table) float64 {
+	if !sameAttrs(a.Attrs, b.Attrs) {
+		panic("marginal: L2Distance over mismatched attribute sets")
+	}
+	sum := 0.0
+	for i := range a.Cells {
+		d := a.Cells[i] - b.Cells[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// MaxAbsDiff returns the largest absolute cell-wise difference between
+// two tables over the same attribute set.
+func MaxAbsDiff(a, b *Table) float64 {
+	if !sameAttrs(a.Attrs, b.Attrs) {
+		panic("marginal: MaxAbsDiff over mismatched attribute sets")
+	}
+	m := 0.0
+	for i := range a.Cells {
+		d := math.Abs(a.Cells[i] - b.Cells[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Equal reports whether two tables cover the same attributes and agree on
+// every cell to within tol.
+func Equal(a, b *Table, tol float64) bool {
+	if !sameAttrs(a.Attrs, b.Attrs) {
+		return false
+	}
+	for i := range a.Cells {
+		if math.Abs(a.Cells[i]-b.Cells[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func sameAttrs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameAttrs reports whether two sorted attribute slices are identical.
+func SameAttrs(a, b []int) bool { return sameAttrs(a, b) }
+
+// Intersect returns the sorted intersection of two sorted attribute
+// slices.
+func Intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Subset reports whether sorted slice a is a subset of sorted slice b.
+func Subset(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// Union returns the sorted union of two sorted attribute slices.
+func Union(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Key returns a canonical string key for a sorted attribute set, suitable
+// for use as a map key when deduplicating sets.
+func Key(attrs []int) string {
+	b := make([]byte, 0, len(attrs)*3)
+	for _, a := range attrs {
+		b = appendInt(b, a)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// String renders a small table for debugging.
+func (t *Table) String() string {
+	return fmt.Sprintf("Table%v%v", t.Attrs, t.Cells)
+}

@@ -1,0 +1,82 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianMoments(t *testing.T) {
+	src := NewStream(3)
+	const n = 200000
+	sigma := 2.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Gaussian(src, sigma)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Gaussian mean = %v, want ~0", mean)
+	}
+	want := sigma * sigma
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("Gaussian variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestGaussianTails(t *testing.T) {
+	// ~99.7% of mass within 3σ.
+	src := NewStream(4)
+	outside := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if math.Abs(Gaussian(src, 1)) > 3 {
+			outside++
+		}
+	}
+	frac := float64(outside) / n
+	if frac > 0.006 {
+		t.Errorf("3σ tail fraction = %v, want ≈ 0.003", frac)
+	}
+}
+
+func TestGaussianPanicsOnBadSigma(t *testing.T) {
+	for _, sigma := range []float64{0, -1, math.Inf(1)} {
+		func() {
+			defer func() { _ = recover() }()
+			Gaussian(NewStream(1), sigma)
+			t.Errorf("Gaussian(σ=%v) did not panic", sigma)
+		}()
+	}
+}
+
+func TestGaussianMechSigma(t *testing.T) {
+	// σ = Δ√(2 ln(1.25/δ))/ε.
+	got := GaussianMechSigma(1, 1, 1e-5)
+	want := math.Sqrt(2 * math.Log(1.25/1e-5))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("sigma = %v, want %v", got, want)
+	}
+	// Scaling in sensitivity and epsilon.
+	if GaussianMechSigma(2, 1, 1e-5) != 2*got {
+		t.Error("sigma not linear in sensitivity")
+	}
+	if math.Abs(GaussianMechSigma(1, 2, 1e-5)-got/2) > 1e-12 {
+		t.Error("sigma not inverse in epsilon")
+	}
+}
+
+func TestGaussianMechSigmaPanics(t *testing.T) {
+	cases := []struct{ s, e, d float64 }{
+		{0, 1, 1e-5}, {1, 0, 1e-5}, {1, 1, 0}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() { _ = recover() }()
+			GaussianMechSigma(c.s, c.e, c.d)
+			t.Errorf("GaussianMechSigma(%v,%v,%v) did not panic", c.s, c.e, c.d)
+		}()
+	}
+}

@@ -1,0 +1,169 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplaceMoments(t *testing.T) {
+	src := NewStream(1)
+	const n = 200000
+	b := 3.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Laplace(src, b)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	want := 2 * b * b
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("Laplace variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestLaplaceSymmetry(t *testing.T) {
+	src := NewStream(7)
+	pos, neg := 0, 0
+	for i := 0; i < 100000; i++ {
+		if Laplace(src, 1) > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	ratio := float64(pos) / float64(neg)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("sign ratio = %v, want ~1", ratio)
+	}
+}
+
+func TestLaplacePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive scale")
+		}
+	}()
+	Laplace(NewStream(1), 0)
+}
+
+func TestLaplaceMechScale(t *testing.T) {
+	if got := LaplaceMechScale(20, 0.5); got != 40 {
+		t.Errorf("LaplaceMechScale(20, 0.5) = %v, want 40", got)
+	}
+}
+
+func TestLaplaceMechScalePanics(t *testing.T) {
+	for _, tc := range []struct{ s, e float64 }{{0, 1}, {1, 0}, {-1, 1}, {1, -2}} {
+		func() {
+			defer func() { _ = recover() }()
+			LaplaceMechScale(tc.s, tc.e)
+			t.Errorf("LaplaceMechScale(%v, %v) did not panic", tc.s, tc.e)
+		}()
+	}
+}
+
+func TestUnitVariance(t *testing.T) {
+	if got, want := UnitVariance(1.0), 2.0; got != want {
+		t.Errorf("UnitVariance(1) = %v, want %v", got, want)
+	}
+	if got, want := UnitVariance(0.1), 200.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("UnitVariance(0.1) = %v, want %v", got, want)
+	}
+}
+
+func TestLaplaceVarianceFormula(t *testing.T) {
+	if got := LaplaceVariance(3); got != 18 {
+		t.Errorf("LaplaceVariance(3) = %v, want 18", got)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("streams with the same seed diverged")
+		}
+	}
+}
+
+func TestDeriveStableAcrossOrder(t *testing.T) {
+	parent1 := NewStream(9)
+	parent2 := NewStream(9)
+	// Consume some variates from parent2 first; derivation must not
+	// depend on the parent's consumption state.
+	for i := 0; i < 17; i++ {
+		parent2.Float64()
+	}
+	c1 := parent1.Derive("views")
+	c2 := parent2.Derive("views")
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("derived stream depends on parent consumption order")
+		}
+	}
+}
+
+func TestDeriveDistinctNames(t *testing.T) {
+	p := NewStream(3)
+	a := p.Derive("a")
+	b := p.Derive("b")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams for distinct names agree on %d of 64 draws", same)
+	}
+}
+
+func TestDeriveIndexedDistinct(t *testing.T) {
+	p := NewStream(3)
+	a := p.DeriveIndexed("run", 0)
+	b := p.DeriveIndexed("run", 1)
+	if a.Float64() == b.Float64() && a.Float64() == b.Float64() {
+		t.Error("indexed derivations are not distinct")
+	}
+}
+
+func TestLaplaceFiniteProperty(t *testing.T) {
+	src := NewStream(11)
+	f := func(scaleSeed uint8) bool {
+		b := 0.01 + float64(scaleSeed)
+		x := Laplace(src, b)
+		return !math.IsNaN(x) && !math.IsInf(x, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitmixAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	x := uint64(0x1234abcd)
+	base := splitmix64(x)
+	for bit := 0; bit < 64; bit += 7 {
+		y := splitmix64(x ^ (1 << uint(bit)))
+		diff := popcount(base ^ y)
+		if diff < 10 || diff > 54 {
+			t.Errorf("bit %d: only %d output bits changed", bit, diff)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+// Package privacy provides ε-differential-privacy budget accounting for
+// releases built from this repository's mechanisms. PriView itself is a
+// single ε-DP release (one Laplace invocation over w views with the
+// budget split inside the mechanism); the accountant tracks sequential
+// composition across multiple releases — e.g. a noisy count for
+// planning (§4.5 suggests ε=0.001) followed by the synopsis proper —
+// and refuses to exceed a configured total.
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned when a requested spend would exceed
+// the accountant's total budget.
+var ErrBudgetExhausted = errors.New("privacy: budget exhausted")
+
+// Spend records one ε expenditure.
+type Spend struct {
+	Label   string
+	Epsilon float64
+}
+
+// Accountant tracks sequential composition of ε-DP releases against a
+// fixed total budget. It is safe for concurrent use.
+type Accountant struct {
+	mu    sync.Mutex
+	total float64
+	spent []Spend
+}
+
+// NewAccountant returns an accountant with the given total ε budget.
+func NewAccountant(total float64) *Accountant {
+	if total <= 0 {
+		panic("privacy: total budget must be positive")
+	}
+	return &Accountant{total: total}
+}
+
+// Total returns the configured budget.
+func (a *Accountant) Total() float64 { return a.total }
+
+// Spent returns the sum of recorded expenditures.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spentLocked()
+}
+
+func (a *Accountant) spentLocked() float64 {
+	s := 0.0
+	for _, sp := range a.spent {
+		s += sp.Epsilon
+	}
+	return s
+}
+
+// Remaining returns the budget still available.
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.spentLocked()
+}
+
+// Charge records a spend of eps under the given label, or returns
+// ErrBudgetExhausted (recording nothing) if it would exceed the total.
+// By sequential composition, the recorded releases jointly satisfy
+// Spent()-DP.
+func (a *Accountant) Charge(label string, eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("privacy: spend must be positive, got %g", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	const slack = 1e-12 // forgive float rounding at the boundary
+	if a.spentLocked()+eps > a.total+slack {
+		return ErrBudgetExhausted
+	}
+	a.spent = append(a.spent, Spend{Label: label, Epsilon: eps})
+	return nil
+}
+
+// MustCharge is Charge but panics on failure; for program setup paths
+// where exceeding the budget is a bug.
+func (a *Accountant) MustCharge(label string, eps float64) {
+	if err := a.Charge(label, eps); err != nil {
+		panic(fmt.Sprintf("privacy: %v (label %q, eps %g)", err, label, eps))
+	}
+}
+
+// Ledger returns a copy of the recorded spends in order.
+func (a *Accountant) Ledger() []Spend {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Spend(nil), a.spent...)
+}
+
+// Summary renders the ledger grouped by label, largest spend first.
+func (a *Accountant) Summary() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	byLabel := map[string]float64{}
+	for _, sp := range a.spent {
+		byLabel[sp.Label] += sp.Epsilon
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if byLabel[labels[i]] != byLabel[labels[j]] {
+			return byLabel[labels[i]] > byLabel[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	out := fmt.Sprintf("privacy budget: %.6g of %.6g spent\n", a.spentLocked(), a.total)
+	for _, l := range labels {
+		out += fmt.Sprintf("  %-24s %.6g\n", l, byLabel[l])
+	}
+	return out
+}

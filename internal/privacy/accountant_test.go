@@ -1,0 +1,143 @@
+package privacy
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"priview/internal/noise"
+)
+
+func TestChargeAndRemaining(t *testing.T) {
+	a := NewAccountant(1.0)
+	if err := a.Charge("count", 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge("synopsis", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent(); math.Abs(got-0.901) > 1e-12 {
+		t.Errorf("Spent = %v", got)
+	}
+	if got := a.Remaining(); math.Abs(got-0.099) > 1e-12 {
+		t.Errorf("Remaining = %v", got)
+	}
+}
+
+func TestChargeRefusesOverdraft(t *testing.T) {
+	a := NewAccountant(1.0)
+	if err := a.Charge("big", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge("too-big", 0.3); err != ErrBudgetExhausted {
+		t.Errorf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// A refused charge must not be recorded.
+	if got := a.Spent(); got != 0.8 {
+		t.Errorf("Spent = %v after refusal, want 0.8", got)
+	}
+	// Exact-fit spends are allowed.
+	if err := a.Charge("fit", 0.2); err != nil {
+		t.Errorf("exact fit refused: %v", err)
+	}
+}
+
+func TestChargeRejectsNonPositive(t *testing.T) {
+	a := NewAccountant(1)
+	if err := a.Charge("zero", 0); err == nil {
+		t.Error("accepted zero spend")
+	}
+	if err := a.Charge("neg", -0.5); err == nil {
+		t.Error("accepted negative spend")
+	}
+}
+
+func TestMustChargePanics(t *testing.T) {
+	a := NewAccountant(0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.MustCharge("over", 0.2)
+}
+
+func TestNewAccountantRejectsBadTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAccountant(0)
+}
+
+func TestLedgerAndSummary(t *testing.T) {
+	a := NewAccountant(2)
+	a.MustCharge("views", 1.0)
+	a.MustCharge("count", 0.001)
+	a.MustCharge("views", 0.5)
+	ledger := a.Ledger()
+	if len(ledger) != 3 || ledger[0].Label != "views" {
+		t.Errorf("ledger = %v", ledger)
+	}
+	s := a.Summary()
+	if !strings.Contains(s, "views") || !strings.Contains(s, "count") {
+		t.Errorf("summary missing labels: %s", s)
+	}
+	// views (1.5) must be listed before count (0.001).
+	if strings.Index(s, "views") > strings.Index(s, "count") {
+		t.Errorf("summary not sorted by spend: %s", s)
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	a := NewAccountant(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				_ = a.Charge("c", 0.1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Spent(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Spent = %v, want 50 (lost updates?)", got)
+	}
+}
+
+// TestLaplaceDPLikelihoodRatio is an empirical DP audit of the Laplace
+// primitive everything rests on: for a sensitivity-1 count under eps,
+// the log-likelihood ratio of observing any output under neighboring
+// inputs is bounded by eps. We verify the histogram ratio over many
+// draws stays within e^eps (with statistical slack).
+func TestLaplaceDPLikelihoodRatio(t *testing.T) {
+	const (
+		eps    = 0.5
+		trials = 400000
+		width  = 0.5 // histogram bucket width
+	)
+	src := noise.NewStream(99)
+	scale := noise.LaplaceMechScale(1, eps)
+	histA := map[int]int{}
+	histB := map[int]int{}
+	bucket := func(x float64) int { return int(math.Floor(x / width)) }
+	for i := 0; i < trials; i++ {
+		histA[bucket(100+noise.Laplace(src, scale))]++ // true count 100
+		histB[bucket(101+noise.Laplace(src, scale))]++ // neighbor: 101
+	}
+	bound := math.Exp(eps)
+	for b, ca := range histA {
+		cb := histB[b]
+		if ca < 500 || cb < 500 {
+			continue // skip sparse buckets where sampling noise dominates
+		}
+		ratio := float64(ca) / float64(cb)
+		if ratio > bound*1.15 || ratio < 1/(bound*1.15) {
+			t.Errorf("bucket %d: likelihood ratio %v exceeds e^eps = %v", b, ratio, bound)
+		}
+	}
+}

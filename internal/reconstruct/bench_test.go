@@ -1,0 +1,76 @@
+package reconstruct
+
+import (
+	"math/rand"
+	"testing"
+
+	"priview/internal/marginal"
+)
+
+// benchConstraints fabricates the constraint pattern of a k=8 PriView
+// query: many small consistent marginals from overlapping views.
+func benchConstraints(k int, seed int64) (attrs []int, total float64, cons []*marginal.Table) {
+	r := rand.New(rand.NewSource(seed))
+	attrs = make([]int, k)
+	for i := range attrs {
+		attrs[i] = i
+	}
+	joint := marginal.New(attrs)
+	sum := 0.0
+	for i := range joint.Cells {
+		joint.Cells[i] = 0.2 + r.Float64()
+		sum += joint.Cells[i]
+	}
+	joint.Scale(100000 / sum)
+	// Pair constraints covering all adjacent pairs plus a few triples.
+	for i := 0; i+1 < k; i++ {
+		cons = append(cons, joint.Project([]int{i, i + 1}))
+	}
+	for i := 0; i+2 < k; i += 2 {
+		cons = append(cons, joint.Project([]int{i, i + 1, i + 2}))
+	}
+	return attrs, joint.Total(), cons
+}
+
+func BenchmarkMaxEntK6(b *testing.B) {
+	attrs, total, cons := benchConstraints(6, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MaxEnt(attrs, total, cons, Options{})
+	}
+}
+
+func BenchmarkMaxEntK8(b *testing.B) {
+	attrs, total, cons := benchConstraints(8, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MaxEnt(attrs, total, cons, Options{})
+	}
+}
+
+func BenchmarkMaxEntDualK6(b *testing.B) {
+	attrs, total, cons := benchConstraints(6, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MaxEntDual(attrs, total, cons, Options{})
+	}
+}
+
+func BenchmarkLeastSquaresK6(b *testing.B) {
+	attrs, total, cons := benchConstraints(6, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LeastSquares(attrs, total, cons, Options{})
+	}
+}
+
+func BenchmarkLinProgK4(b *testing.B) {
+	attrs, total, cons := benchConstraints(4, 5)
+	_ = total
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LinProg(attrs, cons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

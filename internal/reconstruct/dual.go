@@ -1,0 +1,111 @@
+package reconstruct
+
+import (
+	"math"
+
+	"priview/internal/marginal"
+)
+
+// MaxEntDual solves the same maximum-entropy reconstruction as MaxEnt,
+// but by projected gradient ascent on the entropy dual instead of
+// iterative proportional fitting: the solution has the log-linear form
+// P(a) ∝ exp(Σ_B λ_B(a|_B)), and the dual gradient w.r.t. λ_B(b) is
+// target_B(b) − projection_B(b). IPF is coordinate ascent on the same
+// dual; this solver updates all multipliers simultaneously with an
+// adaptive step. It exists as a cross-check and ablation target for the
+// IPF solver (the two must agree on consistent inputs) and as the
+// natural extension point for stochastic/accelerated variants.
+func MaxEntDual(attrs []int, total float64, cons []*marginal.Table, opt Options) *marginal.Table {
+	t := marginal.New(attrs)
+	if total <= 0 {
+		return t
+	}
+	cons = sanitize(MaximalConstraints(cons), total)
+	if len(cons) == 0 {
+		t.Fill(total / float64(t.Size()))
+		return t
+	}
+	type prepared struct {
+		target *marginal.Table
+		pos    []int
+		lambda []float64
+	}
+	prep := make([]prepared, len(cons))
+	for i, c := range cons {
+		prep[i] = prepared{
+			target: c,
+			pos:    t.Positions(c.Attrs),
+			lambda: make([]float64, c.Size()),
+		}
+	}
+	n := t.Size()
+	logits := make([]float64, n)
+	proj := make([][]float64, len(prep))
+	for i := range proj {
+		proj[i] = make([]float64, prep[i].target.Size())
+	}
+	// Step size on normalized marginals; adapted multiplicatively.
+	step := 1.0
+	tol := opt.tol() * total
+	prevWorst := math.Inf(1)
+	maxIter := opt.maxIter() * 4 // dual ascent needs more, cheaper steps
+	for iter := 0; iter < maxIter; iter++ {
+		// Primal from multipliers.
+		maxLogit := math.Inf(-1)
+		for a := 0; a < n; a++ {
+			l := 0.0
+			for i := range prep {
+				l += prep[i].lambda[marginal.RestrictIndex(a, prep[i].pos)]
+			}
+			logits[a] = l
+			if l > maxLogit {
+				maxLogit = l
+			}
+		}
+		z := 0.0
+		for a := 0; a < n; a++ {
+			t.Cells[a] = math.Exp(logits[a] - maxLogit)
+			z += t.Cells[a]
+		}
+		scale := total / z
+		for a := 0; a < n; a++ {
+			t.Cells[a] *= scale
+		}
+		// Dual gradient and convergence check.
+		worst := 0.0
+		for i := range prep {
+			pr := proj[i]
+			for j := range pr {
+				pr[j] = 0
+			}
+			for a := 0; a < n; a++ {
+				pr[marginal.RestrictIndex(a, prep[i].pos)] += t.Cells[a]
+			}
+			for j := range pr {
+				g := prep[i].target.Cells[j] - pr[j]
+				if d := math.Abs(g); d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst < tol {
+			break
+		}
+		// Adapt the step: back off when the violation grows.
+		if worst > prevWorst {
+			step *= 0.7
+		} else {
+			step *= 1.02
+		}
+		prevWorst = worst
+		for i := range prep {
+			pr := proj[i]
+			for j := range prep[i].lambda {
+				// Gradient on the normalized scale keeps the step size
+				// dimensionless.
+				prep[i].lambda[j] += step * (prep[i].target.Cells[j] - pr[j]) / total
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,381 @@
+// Package reconstruct computes a k-way marginal table T_A from a set of
+// consistent view marginals (§4.3 of the paper). When A is contained in
+// some view the answer is a direct projection; otherwise the views
+// induce an under-determined system of linear constraints on T_A and the
+// package offers the paper's three estimators: maximum entropy (the
+// proposed method, solved by iterative proportional fitting), least
+// squares (Dykstra's alternating projections), and linear programming
+// (max-error minimization via simplex).
+package reconstruct
+
+import (
+	"math"
+
+	"priview/internal/lp"
+	"priview/internal/marginal"
+)
+
+// Options tunes the iterative solvers. The zero value selects sensible
+// defaults.
+type Options struct {
+	// MaxIter bounds the number of IPF/Dykstra cycles (default 500).
+	MaxIter int
+	// Tol is the convergence threshold on the largest constraint
+	// violation relative to the total count (default 1e-9).
+	Tol float64
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIter <= 0 {
+		return 500
+	}
+	return o.MaxIter
+}
+
+func (o Options) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-9
+	}
+	return o.Tol
+}
+
+// ConstraintsFromViews projects every view onto its intersection with
+// attrs, returning one constraint marginal per view that shares at least
+// one attribute with attrs. The result keeps per-view duplicates — the
+// linear-programming method wants all of them (it reconciles
+// inconsistent views itself). Views fully covering attrs yield a
+// constraint over attrs itself.
+func ConstraintsFromViews(views []*marginal.Table, attrs []int) []*marginal.Table {
+	var cons []*marginal.Table
+	for _, v := range views {
+		b := marginal.Intersect(v.Attrs, attrs)
+		if len(b) == 0 {
+			continue
+		}
+		cons = append(cons, v.Project(b))
+	}
+	return cons
+}
+
+// MaximalConstraints reduces a constraint set to maximal attribute sets:
+// a constraint over B is dropped when another constraint covers B' ⊋ B
+// (its information is implied once views are consistent), and duplicate
+// sets are averaged. This is the constraint set the maximum-entropy and
+// least-squares methods consume.
+func MaximalConstraints(cons []*marginal.Table) []*marginal.Table {
+	// Average duplicates first.
+	byKey := map[string][]*marginal.Table{}
+	var order []string
+	for _, c := range cons {
+		k := marginal.Key(c.Attrs)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], c)
+	}
+	merged := make([]*marginal.Table, 0, len(order))
+	for _, k := range order {
+		group := byKey[k]
+		avg := group[0].Clone()
+		for _, c := range group[1:] {
+			avg.AddInto(c)
+		}
+		avg.Scale(1 / float64(len(group)))
+		merged = append(merged, avg)
+	}
+	// Keep only maximal sets.
+	var out []*marginal.Table
+	for i, c := range merged {
+		maximal := true
+		for j, other := range merged {
+			if i == j {
+				continue
+			}
+			if len(other.Attrs) > len(c.Attrs) && marginal.Subset(c.Attrs, other.Attrs) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Covered returns the direct projection of some view fully containing
+// attrs, or nil when no view covers it.
+func Covered(views []*marginal.Table, attrs []int) *marginal.Table {
+	for _, v := range views {
+		if marginal.Subset(attrs, v.Attrs) {
+			return v.Project(attrs)
+		}
+	}
+	return nil
+}
+
+// sanitize clamps negative cells of each constraint to zero and rescales
+// the constraint to the common total, making the targets usable by the
+// multiplicative maxent updates and the orthant-constrained least
+// squares. This mirrors the paper's constraint relaxation: slightly
+// infeasible noisy equalities are replaced by the nearest feasible ones.
+func sanitize(cons []*marginal.Table, total float64) []*marginal.Table {
+	out := make([]*marginal.Table, len(cons))
+	for i, c := range cons {
+		s := c.Clone()
+		s.ClampNegatives()
+		sum := s.Total()
+		if sum > 0 {
+			s.Scale(total / sum)
+		} else {
+			s.Fill(total / float64(s.Size()))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MaxEnt reconstructs the maximum-entropy marginal over attrs subject to
+// the given constraint marginals (assumed mutually consistent, as
+// produced by the consistency step) and total count. Iterative
+// proportional fitting is exactly coordinate ascent on the max-entropy
+// dual, so for consistent constraints it converges to the unique
+// maximum-entropy solution; for mildly inconsistent ones it settles
+// near the relaxed solution, matching the paper's gradual-relaxation
+// fallback.
+func MaxEnt(attrs []int, total float64, cons []*marginal.Table, opt Options) *marginal.Table {
+	t := marginal.New(attrs)
+	if total <= 0 {
+		return t
+	}
+	t.Fill(total / float64(t.Size()))
+	cons = sanitize(MaximalConstraints(cons), total)
+	if len(cons) == 0 {
+		return t
+	}
+	type prepared struct {
+		target *marginal.Table
+		pos    []int
+	}
+	prep := make([]prepared, len(cons))
+	for i, c := range cons {
+		prep[i] = prepared{target: c, pos: t.Positions(c.Attrs)}
+	}
+	tol := opt.tol() * total
+	proj := make([][]float64, len(cons))
+	for i := range proj {
+		proj[i] = make([]float64, cons[i].Size())
+	}
+	for iter := 0; iter < opt.maxIter(); iter++ {
+		worst := 0.0
+		for i, p := range prep {
+			// Current projection.
+			pr := proj[i]
+			for j := range pr {
+				pr[j] = 0
+			}
+			for ci, v := range t.Cells {
+				pr[marginal.RestrictIndex(ci, p.pos)] += v
+			}
+			// Multiplicative update toward the target.
+			for ci := range t.Cells {
+				b := marginal.RestrictIndex(ci, p.pos)
+				cur := pr[b]
+				want := p.target.Cells[b]
+				if d := math.Abs(cur - want); d > worst {
+					worst = d
+				}
+				switch {
+				case cur > 0:
+					t.Cells[ci] *= want / cur
+				case want > 0:
+					// Mass must appear in a group that currently has
+					// none: seed it uniformly so the next cycle can
+					// shape it.
+					t.Cells[ci] = want / float64(int(1)<<uint(len(attrs)-len(p.target.Attrs)))
+				default:
+					t.Cells[ci] = 0
+				}
+			}
+		}
+		if worst < tol {
+			break
+		}
+	}
+	return t
+}
+
+// LeastSquares reconstructs the minimum-L2-norm non-negative marginal
+// satisfying the constraints, via Dykstra's alternating projections onto
+// the constraint affine subspaces and the non-negative orthant. Starting
+// from the origin, Dykstra converges to the projection of 0 onto the
+// feasible set, i.e. the least-norm feasible table.
+func LeastSquares(attrs []int, total float64, cons []*marginal.Table, opt Options) *marginal.Table {
+	t := marginal.New(attrs)
+	cons = sanitize(MaximalConstraints(cons), total)
+	if len(cons) == 0 {
+		t.Fill(total / float64(t.Size()))
+		return t
+	}
+	type prepared struct {
+		target    *marginal.Table
+		pos       []int
+		groupSize float64
+	}
+	prep := make([]prepared, len(cons))
+	for i, c := range cons {
+		prep[i] = prepared{
+			target:    c,
+			pos:       t.Positions(c.Attrs),
+			groupSize: float64(int(1) << uint(t.Dim()-c.Dim())),
+		}
+	}
+	// Dykstra increments: one per constraint set plus one for the
+	// orthant.
+	nSets := len(prep) + 1
+	incr := make([][]float64, nSets)
+	for i := range incr {
+		incr[i] = make([]float64, t.Size())
+	}
+	y := make([]float64, t.Size())
+	proj := make([]float64, 0)
+	tol := opt.tol() * math.Max(total, 1)
+	for iter := 0; iter < opt.maxIter(); iter++ {
+		moved := 0.0
+		for s := 0; s < nSets; s++ {
+			// y = x + p_s
+			for ci := range y {
+				y[ci] = t.Cells[ci] + incr[s][ci]
+			}
+			if s < len(prep) {
+				p := prep[s]
+				if cap(proj) < p.target.Size() {
+					proj = make([]float64, p.target.Size())
+				}
+				proj = proj[:p.target.Size()]
+				for j := range proj {
+					proj[j] = 0
+				}
+				for ci, v := range y {
+					proj[marginal.RestrictIndex(ci, p.pos)] += v
+				}
+				for ci := range y {
+					b := marginal.RestrictIndex(ci, p.pos)
+					corr := (p.target.Cells[b] - proj[b]) / p.groupSize
+					nv := y[ci] + corr
+					if d := math.Abs(nv - t.Cells[ci]); d > moved {
+						moved = d
+					}
+					incr[s][ci] = y[ci] - nv
+					t.Cells[ci] = nv
+				}
+			} else {
+				// Orthant projection.
+				for ci := range y {
+					nv := y[ci]
+					if nv < 0 {
+						nv = 0
+					}
+					if d := math.Abs(nv - t.Cells[ci]); d > moved {
+						moved = d
+					}
+					incr[s][ci] = y[ci] - nv
+					t.Cells[ci] = nv
+				}
+			}
+		}
+		if moved < tol {
+			break
+		}
+	}
+	t.ClampNegatives()
+	return t
+}
+
+// LinProg reconstructs the marginal by the paper's linear program:
+// minimize the maximum violation τ of any view-derived constraint
+// subject to non-negative cells. It accepts possibly inconsistent
+// constraints (one per view) — this is the only method that does not
+// require a prior consistency step.
+func LinProg(attrs []int, cons []*marginal.Table) (*marginal.Table, error) {
+	t := marginal.New(attrs)
+	n := t.Size()
+	// Dedupe exactly identical constraints (consistent views produce
+	// many); keeps the simplex tableau small without changing the
+	// optimum.
+	cons = dedupeIdentical(cons)
+	prob := &lp.Problem{
+		NumVars:   n + 1, // cells then τ
+		Objective: make([]float64, n+1),
+	}
+	prob.Objective[n] = 1
+	for _, c := range cons {
+		pos := t.Positions(c.Attrs)
+		// Group cells of A by their restricted index.
+		groups := make([][]int, c.Size())
+		for ci := 0; ci < n; ci++ {
+			b := marginal.RestrictIndex(ci, pos)
+			groups[b] = append(groups[b], ci)
+		}
+		for b, cells := range groups {
+			// sum(cells) - τ ≤ target  and  sum(cells) + τ ≥ target.
+			le := make([]float64, n+1)
+			ge := make([]float64, n+1)
+			for _, ci := range cells {
+				le[ci] = 1
+				ge[ci] = 1
+			}
+			le[n] = -1
+			ge[n] = 1
+			prob.Constraints = append(prob.Constraints,
+				lp.Constraint{Coef: le, Rel: lp.LE, B: c.Cells[b]},
+				lp.Constraint{Coef: ge, Rel: lp.GE, B: c.Cells[b]},
+			)
+		}
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	copy(t.Cells, sol.X[:n])
+	return t, nil
+}
+
+// dedupeIdentical drops constraints that duplicate an earlier one to
+// within a small tolerance. After the consistency step all views agree
+// exactly on shared projections up to floating-point rounding, so the
+// tolerance collapses the (large) redundant constraint set of CLP while
+// leaving genuinely inconsistent LP constraints untouched.
+func dedupeIdentical(cons []*marginal.Table) []*marginal.Table {
+	var out []*marginal.Table
+	for _, c := range cons {
+		dup := false
+		for _, o := range out {
+			if marginal.Equal(c, o, 1e-6) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy (nats) of the normalized table,
+// used by tests to verify the maximum-entropy property.
+func Entropy(t *marginal.Table) float64 {
+	total := t.Total()
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, v := range t.Cells {
+		if v > 0 {
+			p := v / total
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}

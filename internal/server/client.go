@@ -1,0 +1,90 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"priview/internal/marginal"
+)
+
+// Client is a typed client for the priview-serve HTTP API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a server at base (e.g.
+// "http://localhost:8080"). httpClient may be nil for the default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// Info describes the served synopsis.
+type Info struct {
+	Epsilon float64 `json:"epsilon"`
+	Total   float64 `json:"total"`
+	D       int     `json:"d"`
+	Design  string  `json:"design"`
+	Views   int     `json:"views"`
+	MaxK    int     `json:"max_k"`
+}
+
+// Info fetches the release metadata.
+func (c *Client) Info() (*Info, error) {
+	var info Info
+	if err := c.getJSON("/v1/info", &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Marginal fetches the reconstructed marginal over attrs using the
+// given estimator ("" selects CME).
+func (c *Client) Marginal(attrs []int, method string) (*marginal.Table, error) {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = strconv.Itoa(a)
+	}
+	q := url.Values{}
+	q.Set("attrs", strings.Join(parts, ","))
+	if method != "" {
+		q.Set("method", method)
+	}
+	var resp marginalResponse
+	if err := c.getJSON("/v1/marginal?"+q.Encode(), &resp); err != nil {
+		return nil, err
+	}
+	t := marginal.New(resp.Attrs)
+	if len(resp.Cells) != t.Size() {
+		return nil, fmt.Errorf("server: response has %d cells for %d attributes", len(resp.Cells), len(resp.Attrs))
+	}
+	copy(t.Cells, resp.Cells)
+	return t, nil
+}
+
+func (c *Client) getJSON(path string, v interface{}) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("server: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("server: decoding response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"priview/internal/marginal"
+)
+
+func TestClientRoundTrip(t *testing.T) {
+	s, syn := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.D != 9 || info.Design != "C2(6,3)" {
+		t.Errorf("info = %+v", info)
+	}
+
+	got, err := c.Marginal([]int{0, 4, 8}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := syn.Query([]int{0, 4, 8})
+	if !marginal.Equal(got, want, 1e-9) {
+		t.Error("client marginal differs from direct query")
+	}
+
+	if _, err := c.Marginal([]int{0, 5}, "CLN"); err != nil {
+		t.Errorf("CLN via client: %v", err)
+	}
+}
+
+func TestClientErrorSurface(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.URL+"/", nil) // trailing slash handled
+
+	if _, err := c.Marginal([]int{0, 99}, ""); err == nil {
+		t.Error("out-of-range attribute did not error")
+	}
+	if _, err := c.Marginal([]int{0}, "bogus"); err == nil {
+		t.Error("bogus method did not error")
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil) // nothing listens on port 1
+	if _, err := c.Info(); err == nil {
+		t.Error("expected connection error")
+	}
+}

@@ -1,0 +1,28 @@
+package server
+
+import "testing"
+
+// FuzzParseAttrs hardens the query-string attribute parser.
+func FuzzParseAttrs(f *testing.F) {
+	f.Add("1,2,3")
+	f.Add("")
+	f.Add("0")
+	f.Add("-1,5")
+	f.Add("1,,2")
+	f.Add("999999999999999999999")
+	f.Add(" 7 , 8 ")
+	f.Fuzz(func(t *testing.T, raw string) {
+		attrs, err := parseAttrs(raw)
+		if err != nil {
+			return
+		}
+		if len(attrs) == 0 {
+			t.Fatal("success with empty attribute list")
+		}
+		for i := 1; i < len(attrs); i++ {
+			if attrs[i] <= attrs[i-1] {
+				t.Fatalf("output not strictly sorted: %v", attrs)
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package server exposes a published PriView synopsis over HTTP. Since
+// a synopsis is a differentially private object, serving unlimited
+// marginal queries from it costs no additional privacy budget (the
+// post-processing property) — the server is a pure, stateless query
+// engine suitable for public deployment.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"priview/internal/core"
+	"priview/internal/marginal"
+)
+
+// Server wraps a synopsis with HTTP handlers.
+type Server struct {
+	syn *core.Synopsis
+	mux *http.ServeMux
+	// maxK bounds the query size so a single request cannot ask for a
+	// 2^30-cell reconstruction.
+	maxK int
+}
+
+// New returns a server for the synopsis. maxK bounds the marginal size
+// a single request may ask for (≤ 0 selects the default of 12).
+func New(syn *core.Synopsis, maxK int) *Server {
+	if maxK <= 0 {
+		maxK = 12
+	}
+	s := &Server{syn: syn, mux: http.NewServeMux(), maxK: maxK}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/info", s.handleInfo)
+	s.mux.HandleFunc("/v1/marginal", s.handleMarginal)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// infoResponse describes the published synopsis.
+type infoResponse struct {
+	Epsilon float64 `json:"epsilon"`
+	Total   float64 `json:"total"`
+	D       int     `json:"d"`
+	Design  string  `json:"design"`
+	Views   int     `json:"views"`
+	MaxK    int     `json:"max_k"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := infoResponse{
+		Epsilon: s.syn.Epsilon(),
+		Total:   s.syn.Total(),
+		Views:   len(s.syn.Views()),
+		MaxK:    s.maxK,
+	}
+	if dg := s.syn.Design(); dg != nil {
+		resp.D = dg.D
+		resp.Design = dg.Name()
+	}
+	writeJSON(w, resp)
+}
+
+// marginalResponse is a reconstructed marginal table.
+type marginalResponse struct {
+	Attrs  []int     `json:"attrs"`
+	Method string    `json:"method"`
+	Total  float64   `json:"total"`
+	Cells  []float64 `json:"cells"`
+}
+
+func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	attrs, err := parseAttrs(r.URL.Query().Get("attrs"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(attrs) > s.maxK {
+		http.Error(w, fmt.Sprintf("at most %d attributes per query", s.maxK), http.StatusBadRequest)
+		return
+	}
+	if dg := s.syn.Design(); dg != nil {
+		for _, a := range attrs {
+			if a < 0 || a >= dg.D {
+				http.Error(w, fmt.Sprintf("attribute %d out of range (d=%d)", a, dg.D), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	method := core.CME
+	switch strings.ToUpper(r.URL.Query().Get("method")) {
+	case "", "CME":
+	case "CLN":
+		method = core.CLN
+	case "CLP":
+		method = core.CLP
+	default:
+		http.Error(w, "unknown method (want CME, CLN or CLP)", http.StatusBadRequest)
+		return
+	}
+	var table *marginal.Table
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				table = nil
+			}
+		}()
+		table = s.syn.QueryMethod(attrs, method)
+	}()
+	if table == nil {
+		http.Error(w, "query failed", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, marginalResponse{
+		Attrs:  table.Attrs,
+		Method: method.String(),
+		Total:  table.Total(),
+		Cells:  table.Cells,
+	})
+}
+
+func parseAttrs(raw string) ([]int, error) {
+	if raw == "" {
+		return nil, fmt.Errorf("attrs parameter is required (comma-separated indices)")
+	}
+	parts := strings.Split(raw, ",")
+	attrs := make([]int, 0, len(parts))
+	seen := map[int]bool{}
+	for _, p := range parts {
+		a, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad attribute %q", p)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("duplicate attribute %d", a)
+		}
+		seen[a] = true
+		attrs = append(attrs, a)
+	}
+	sort.Ints(attrs)
+	return attrs, nil
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers already sent; nothing sensible to do but note it.
+		http.Error(w, "encoding failed", http.StatusInternalServerError)
+	}
+}

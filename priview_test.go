@@ -1,0 +1,125 @@
+package priview_test
+
+import (
+	"math"
+	"testing"
+
+	"priview"
+	"priview/internal/dataset/synth"
+)
+
+// TestEndToEnd drives the full public API exactly as a downstream user
+// would: plan, build, query, evaluate.
+func TestEndToEnd(t *testing.T) {
+	data := synth.Kosarak(100000, 1)
+	plan := priview.PlanDesign(data.Dim(), data.Len(), 1.0, 7)
+	if plan.Design == nil {
+		t.Fatal("no design planned")
+	}
+	syn := priview.Build(data, priview.Config{Epsilon: 1.0, Design: plan.Design}, 42)
+
+	attrs := []int{1, 9, 18, 27}
+	got := syn.Query(attrs)
+	truth := data.Marginal(attrs)
+	nerr := priview.L2Error(got, truth) / float64(data.Len())
+	if nerr > 0.05 {
+		t.Errorf("normalized error %v too large for N=100k, eps=1", nerr)
+	}
+	js := priview.JSDivergence(got, truth)
+	if math.IsNaN(js) || js < 0 || js > math.Log(2) {
+		t.Errorf("JS divergence %v out of range", js)
+	}
+}
+
+func TestPublicDatasetConstruction(t *testing.T) {
+	data := priview.NewDataset(4, []uint64{0b1010, 0b0110, 0b1111})
+	if data.Dim() != 4 || data.Len() != 3 {
+		t.Fatalf("dim=%d len=%d", data.Dim(), data.Len())
+	}
+	m := data.Marginal([]int{1, 3})
+	if m.Total() != 3 {
+		t.Errorf("marginal total = %v", m.Total())
+	}
+}
+
+func TestBestDesignPublic(t *testing.T) {
+	dg := priview.BestDesign(32, 8, 2, 3)
+	if dg.W() != 20 {
+		t.Errorf("w = %d, want 20 (the paper's C_2(8,20))", dg.W())
+	}
+	if err := dg.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoisyCountPublic(t *testing.T) {
+	data := synth.MSNBC(10000, 2)
+	n := priview.NoisyCount(data, 0.01, 5)
+	if n < 1 {
+		t.Errorf("noisy count %v below floor", n)
+	}
+}
+
+func TestFromViewsPublic(t *testing.T) {
+	data := synth.MSNBC(5000, 3)
+	dg := priview.BestDesign(9, 6, 2, 1)
+	views := make([]*priview.Table, dg.W())
+	for i, b := range dg.Blocks {
+		views[i] = data.Marginal(b)
+	}
+	syn := priview.FromViews(views, priview.Config{Epsilon: 1, Design: dg})
+	got := syn.Query([]int{0, 5})
+	truth := data.Marginal([]int{0, 5})
+	if priview.L2Error(got, truth) > 1 {
+		t.Errorf("noise-free FromViews query error %v", priview.L2Error(got, truth))
+	}
+}
+
+func TestDifferentSeedsDifferentNoise(t *testing.T) {
+	data := synth.MSNBC(5000, 4)
+	dg := priview.BestDesign(9, 6, 2, 1)
+	a := priview.Build(data, priview.Config{Epsilon: 1, Design: dg}, 1)
+	b := priview.Build(data, priview.Config{Epsilon: 1, Design: dg}, 2)
+	qa := a.Query([]int{0, 1})
+	qb := b.Query([]int{0, 1})
+	same := true
+	for i := range qa.Cells {
+		if qa.Cells[i] != qb.Cells[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("independent releases produced identical noise")
+	}
+}
+
+func TestReconstructionMethodSelection(t *testing.T) {
+	data := synth.MSNBC(5000, 5)
+	dg := priview.BestDesign(9, 4, 2, 1)
+	for _, m := range []priview.ReconstructMethod{priview.CME, priview.CLN, priview.CLP} {
+		syn := priview.Build(data, priview.Config{Epsilon: 1, Design: dg, Method: m}, 6)
+		got := syn.Query([]int{0, 4, 8})
+		if got.Size() != 8 {
+			t.Errorf("method %v: size %d", m, got.Size())
+		}
+	}
+}
+
+func TestWorkloadDesignZeroCoverageError(t *testing.T) {
+	data := synth.Kosarak(30000, 6)
+	workload := [][]int{{0, 5, 12, 20}, {3, 8, 25}, {1, 30, 31}}
+	dg, err := priview.WorkloadDesign(32, 8, workload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without noise, workload marginals must be exact (fully covered).
+	syn := priview.Build(data, priview.Config{Design: dg, NoNoise: true}, 2)
+	for _, w := range workload {
+		got := syn.Query(w)
+		truth := data.Marginal(w)
+		if priview.L2Error(got, truth) > 1e-6 {
+			t.Errorf("workload set %v has coverage error %v", w, priview.L2Error(got, truth))
+		}
+	}
+}
