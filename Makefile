@@ -1,0 +1,30 @@
+# PriView build and verification targets. `make check` is the full
+# local gate, mirroring what CI runs.
+
+GO ?= go
+
+.PHONY: all build vet lint test race check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# priview-lint is this repo's own static-analysis gate: randsource,
+# floatcmp, errdiscard, panicmsg. See DESIGN.md "Static analysis &
+# invariants" and `go run ./cmd/priview-lint -list`.
+lint:
+	$(GO) run ./cmd/priview-lint ./...
+
+test:
+	$(GO) test ./...
+
+# The race lane uses -short so the race-enabled run finishes quickly;
+# `make test` still runs everything at full size.
+race:
+	$(GO) test -race -short ./...
+
+check: build vet lint race

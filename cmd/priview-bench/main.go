@@ -15,22 +15,47 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 	"time"
 
 	"priview/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, fig1..fig6, ablation, cat-sweep, tables, runtime")
-	full := flag.Bool("full", false, "paper-scale configuration (200 queries, 5 runs, full N)")
-	queries := flag.Int("queries", 0, "override query-set count")
-	runs := flag.Int("runs", 0, "override runs per query")
-	n := flag.Int("n", 0, "override dataset size (0 = config default)")
-	seed := flag.Int64("seed", 1, "root seed")
-	csvPath := flag.String("csv", "", "also write figure rows as CSV to this file")
-	flag.Parse()
+	os.Exit(benchMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// emitf writes report output. A failed write to the report stream has
+// no recovery mid-experiment, so the error is dropped here, once.
+func emitf(w io.Writer, format string, args ...any) {
+	//lint:ignore errdiscard report output stream; a write failure mid-experiment has no error sink
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func benchMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("priview-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id: all, fig1..fig6, ablation, cat-sweep, tables, runtime")
+	full := fs.Bool("full", false, "paper-scale configuration (200 queries, 5 runs, full N)")
+	queries := fs.Int("queries", 0, "override query-set count")
+	runs := fs.Int("runs", 0, "override runs per query")
+	n := fs.Int("n", 0, "override dataset size (0 = config default)")
+	seed := fs.Int64("seed", 1, "root seed")
+	csvPath := fs.String("csv", "", "also write figure rows as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	known := map[string]bool{
+		"all": true, "fig1": true, "fig2": true, "fig3": true, "fig4": true,
+		"fig5": true, "fig6": true, "ablation": true, "cat-sweep": true,
+		"tables": true, "runtime": true,
+	}
+	if !known[*exp] {
+		emitf(stderr, "priview-bench: unknown experiment %q\n", *exp)
+		return 2
+	}
 
 	cfg := experiments.Reduced()
 	if *full {
@@ -55,17 +80,17 @@ func main() {
 		}
 		start := time.Now()
 		rows := f(cfg)
-		fmt.Printf("\n== %s: %s (%v) ==\n", id, title, time.Since(start).Round(time.Millisecond))
-		fmt.Print(experiments.FormatRows(rows))
+		emitf(stdout, "\n== %s: %s (%v) ==\n", id, title, time.Since(start).Round(time.Millisecond))
+		emitf(stdout, "%s", experiments.FormatRows(rows))
 		allRows = append(allRows, rows...)
 	}
 
 	if want("tables") {
-		fmt.Println(experiments.RunTabCrossover().Format())
-		fmt.Println(experiments.RunTabMidsize().Format())
-		fmt.Println(experiments.RunTabEll().Format())
-		fmt.Println(experiments.RunTabKosarakT(cfg.Seed).Format())
-		fmt.Println(experiments.RunTabCategorical().Format())
+		emitf(stdout, "%s\n", experiments.RunTabCrossover().Format())
+		emitf(stdout, "%s\n", experiments.RunTabMidsize().Format())
+		emitf(stdout, "%s\n", experiments.RunTabEll().Format())
+		emitf(stdout, "%s\n", experiments.RunTabKosarakT(cfg.Seed).Format())
+		emitf(stdout, "%s\n", experiments.RunTabCategorical().Format())
 	}
 	run("fig1", "all methods on MSNBC (d=9)", experiments.RunFig1)
 	run("fig2", "PriView vs Flat/Direct/Fourier on Kosarak and AOL", experiments.RunFig2)
@@ -77,26 +102,24 @@ func main() {
 	run("cat-sweep", "categorical view cell-budget sweep (§4.7 guideline)", experiments.RunCategoricalSweep)
 	if want("runtime") {
 		rows := experiments.RunTabRuntime(cfg)
-		fmt.Println()
-		fmt.Print(experiments.FormatRuntime(rows))
+		emitf(stdout, "\n%s", experiments.FormatRuntime(rows))
 	}
 
 	if *csvPath != "" && len(allRows) > 0 {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "priview-bench: %v\n", err)
-			os.Exit(1)
+			emitf(stderr, "priview-bench: %v\n", err)
+			return 1
 		}
-		defer f.Close()
-		if err := experiments.WriteCSV(f, allRows); err != nil {
-			fmt.Fprintf(os.Stderr, "priview-bench: %v\n", err)
-			os.Exit(1)
+		err = experiments.WriteCSV(f, allRows)
+		if cerr := f.Close(); err == nil {
+			err = cerr
 		}
-		fmt.Printf("\nwrote %d rows to %s\n", len(allRows), *csvPath)
+		if err != nil {
+			emitf(stderr, "priview-bench: %v\n", err)
+			return 1
+		}
+		emitf(stdout, "\nwrote %d rows to %s\n", len(allRows), *csvPath)
 	}
-
-	if *exp != "all" && !strings.HasPrefix(*exp, "fig") && *exp != "ablation" && *exp != "cat-sweep" && *exp != "tables" && *exp != "runtime" {
-		fmt.Fprintf(os.Stderr, "priview-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
+	return 0
 }

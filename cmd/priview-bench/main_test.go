@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchRejectsUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := benchMain([]string{"-exp", "fig9"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown experiment "fig9"`) {
+		t.Errorf("stderr = %q, want unknown-experiment message", stderr.String())
+	}
+}
+
+func TestBenchRejectsBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := benchMain([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestBenchSmokeFig1 runs the smallest real experiment end to end and
+// checks the report shape.
+func TestBenchSmokeFig1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: runs a reduced fig1 experiment")
+	}
+	var stdout, stderr bytes.Buffer
+	code := benchMain([]string{"-exp", "fig1", "-queries", "2", "-runs", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "== fig1:") {
+		t.Errorf("output missing fig1 header:\n%s", out)
+	}
+	if !strings.Contains(out, "PriView") {
+		t.Errorf("output missing PriView rows:\n%s", out)
+	}
+}

@@ -1,0 +1,180 @@
+// Analysis framework for priview-lint: the Analyzer/Pass plumbing, the
+// finding model, and the //lint:ignore suppression directives. Built on
+// the standard library only (go/ast, go/token, go/types) per the repo's
+// dependency policy.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// analyzers is the registry, in the order checks are run and listed.
+var analyzers = []*Analyzer{
+	randsourceAnalyzer,
+	floatcmpAnalyzer,
+	errdiscardAnalyzer,
+	panicmsgAnalyzer,
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, plus the report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string // import path, e.g. priview/internal/noise
+	Pkg      *types.Package
+	Info     *types.Info
+	Files    []*ast.File // non-test files only
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Check   string         `json:"check"`
+	Pos     token.Position `json:"-"`
+	Message string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
+}
+
+// runAnalyzers runs every registered analyzer over pkg and returns the
+// findings that survive //lint:ignore suppression, sorted by position.
+func runAnalyzers(pkg *lintPackage) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Files:    pkg.Files,
+			findings: &raw,
+		}
+		a.Run(pass)
+	}
+	out := applySuppressions(pkg, raw)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	check  string
+	reason string
+	line   int
+}
+
+const directivePrefix = "lint:ignore"
+
+// collectDirectives parses every //lint:ignore comment in the package,
+// keyed by filename. Malformed directives (no check name, or a missing
+// reason) are themselves findings: a suppression without a rationale is
+// exactly the kind of silent exemption the linter exists to prevent.
+func collectDirectives(pkg *lintPackage, report func(Finding)) map[string][]ignoreDirective {
+	byFile := make(map[string][]ignoreDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(Finding{
+						Check:   "directive",
+						Pos:     pos,
+						Message: "malformed //lint:ignore: want \"//lint:ignore <check> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				check := fields[0]
+				if !knownCheck(check) {
+					report(Finding{
+						Check:   "directive",
+						Pos:     pos,
+						Message: fmt.Sprintf("//lint:ignore names unknown check %q", check),
+					})
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], ignoreDirective{
+					check:  check,
+					reason: strings.Join(fields[1:], " "),
+					line:   pos.Line,
+				})
+			}
+		}
+	}
+	return byFile
+}
+
+func knownCheck(name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions drops findings covered by a //lint:ignore directive
+// on the same line or the line immediately above, and appends any
+// directive-syntax findings.
+func applySuppressions(pkg *lintPackage, raw []Finding) []Finding {
+	var out []Finding
+	directives := collectDirectives(pkg, func(f Finding) { out = append(out, f) })
+	for _, f := range raw {
+		suppressed := false
+		for _, d := range directives[f.Pos.Filename] {
+			if d.check == f.Check && (d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

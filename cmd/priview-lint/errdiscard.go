@@ -1,0 +1,183 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var errdiscardAnalyzer = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "no silently discarded error returns in library code; a dropped error is a dropped accounting failure",
+	Run:  runErrdiscard,
+}
+
+func runErrdiscard(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(pass.Info, call) || errNeverFails(pass.Info, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"result of %s includes an error that is discarded; handle it or suppress with //lint:ignore errdiscard <reason>", calleeLabel(pass.Info, call))
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, stmt)
+			case *ast.DeferStmt, *ast.GoStmt:
+				// defer x.Close() and friends are accepted idiom; the
+				// error has nowhere to go.
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign flags error results assigned to the blank
+// identifier, e.g. `_ = f()` or `v, _ := g()` where g's second result
+// is an error.
+func checkBlankErrAssign(pass *Pass, stmt *ast.AssignStmt) {
+	flag := func(lhs ast.Expr, call ast.Expr) {
+		pass.Reportf(lhs.Pos(),
+			"error result of %s assigned to _; handle it or suppress with //lint:ignore errdiscard <reason>", exprLabel(call))
+	}
+	if len(stmt.Lhs) > 1 && len(stmt.Rhs) == 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok || errNeverFails(pass.Info, call) {
+			return
+		}
+		tuple, ok := pass.Info.Types[call].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(stmt.Lhs) {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				flag(lhs, call)
+			}
+		}
+		return
+	}
+	for i, lhs := range stmt.Lhs {
+		if i >= len(stmt.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		rhs := ast.Unparen(stmt.Rhs[i])
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || errNeverFails(pass.Info, call) {
+			continue
+		}
+		if tv, ok := pass.Info.Types[rhs]; ok && tv.Type != nil && isErrorType(tv.Type) {
+			flag(lhs, rhs)
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// returnsError reports whether any of the call's results is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// errNeverFails whitelists callees whose error result is vestigial:
+// bytes.Buffer and strings.Builder writes are documented to always
+// return a nil error, and fmt printing to the process's standard
+// streams follows the universal Go convention of being unchecked.
+func errNeverFails(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if strings.HasPrefix(full, "(*bytes.Buffer).") || strings.HasPrefix(full, "(*strings.Builder).") {
+		return true
+	}
+	switch full {
+	case "fmt.Print", "fmt.Printf", "fmt.Println":
+		return true
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		return writerNeverFails(info, call.Args[0])
+	}
+	return false
+}
+
+// writerNeverFails reports whether the io.Writer argument is one whose
+// Write cannot meaningfully be handled: an in-memory buffer/builder, or
+// the process's own stdout/stderr.
+func writerNeverFails(info *types.Info, w ast.Expr) bool {
+	if sel, ok := ast.Unparen(w).(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok {
+			if pkg := v.Pkg(); pkg != nil && pkg.Path() == "os" &&
+				(v.Name() == "Stdout" || v.Name() == "Stderr") {
+				return true
+			}
+		}
+	}
+	tv, ok := info.Types[w]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.String() {
+	case "*bytes.Buffer", "*strings.Builder":
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.FullName()
+	}
+	return exprLabel(call)
+}
+
+func exprLabel(e ast.Expr) string {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if name := calleeName(call); name != "" {
+			return name
+		}
+	}
+	return "call"
+}

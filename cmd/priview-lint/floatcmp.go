@@ -1,0 +1,78 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var floatcmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no ==/!= between floating-point operands outside tolerance helpers; exact comparison hides accumulated rounding error",
+	Run:  runFloatcmp,
+}
+
+// toleranceHelperNames marks function names that ARE the approved
+// tolerance/exactness helpers: inside them an exact comparison is the
+// point (e.g. an approx(a, b, tol) helper short-circuiting on a == b).
+func isToleranceHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, frag := range []string{"approx", "almost", "within", "toleran", "close"} {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func runFloatcmp(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isToleranceHelper(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass.Info, bin.X) || !isFloat(pass.Info, bin.Y) {
+					return true
+				}
+				// x != x is the portable NaN test; leave it alone.
+				if s := exprString(bin.X); bin.Op == token.NEQ && s != "" && s == exprString(bin.Y) {
+					return true
+				}
+				pass.Reportf(bin.OpPos,
+					"floating-point %s comparison; use a tolerance (e.g. math.Abs(a-b) <= eps) or suppress with //lint:ignore floatcmp <why exactness is sound>", bin.Op)
+				return true
+			})
+		}
+	}
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprString renders a simple expression for the x != x NaN-idiom
+// check; only identifiers and selectors need to match.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return ""
+}

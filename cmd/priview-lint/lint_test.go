@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader amortizes stdlib type-checking (the expensive part of
+// the source importer) across the golden-file tests.
+var sharedLoader = sync.OnceValues(func() (*loader, error) {
+	return newLoader(filepath.Join("..", ".."))
+})
+
+func loadTestdata(t *testing.T, dir, importPath string) *lintPackage {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("loading testdata/src/%s: %v", dir, err)
+	}
+	return pkg
+}
+
+// wantRe matches the expectation comments embedded in testdata files:
+// a `// want:<check>` marker on the line the finding must land on.
+var wantRe = regexp.MustCompile(`// want:([a-z]+)`)
+
+// expectations scans a testdata directory for want markers, returning
+// "file:line:check" keys.
+func expectations(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	full := filepath.Join("testdata", "src", dir)
+	names, err := goFilesIn(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(full, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				want[fmt.Sprintf("%s:%d:%s", name, i+1, m[1])] = true
+			}
+		}
+	}
+	return want
+}
+
+// checkGolden runs every analyzer over one testdata package and
+// requires the surviving findings to match the want markers exactly —
+// both directions: no missing findings, no unexpected ones.
+func checkGolden(t *testing.T, dir, importPath string) {
+	t.Helper()
+	pkg := loadTestdata(t, dir, importPath)
+	want := expectations(t, dir)
+	got := make(map[string]bool)
+	for _, f := range runAnalyzers(pkg) {
+		got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check)] = true
+	}
+	var missing, unexpected []string
+	for k := range want {
+		if !got[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			unexpected = append(unexpected, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(unexpected)
+	if len(missing) > 0 {
+		t.Errorf("expected findings not reported: %v", missing)
+	}
+	if len(unexpected) > 0 {
+		t.Errorf("unexpected findings: %v", unexpected)
+	}
+}
+
+func TestRandsourceGolden(t *testing.T) {
+	checkGolden(t, "randsource", "priview/internal/randdemo")
+}
+
+func TestRandsourceAllowedPackage(t *testing.T) {
+	// Loaded as internal/noise itself: the import is allowed, the
+	// wall-clock seed still is not.
+	checkGolden(t, "randsource_ok", "priview/internal/noise")
+}
+
+func TestFloatcmpGolden(t *testing.T) {
+	checkGolden(t, "floatcmp", "priview/internal/floatdemo")
+}
+
+func TestErrdiscardGolden(t *testing.T) {
+	checkGolden(t, "errdiscard", "priview/internal/errdemo")
+}
+
+func TestPanicmsgGolden(t *testing.T) {
+	checkGolden(t, "panicmsg", "priview/internal/panicdemo")
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	pkg := loadTestdata(t, "directive", "priview/internal/directivedemo")
+	findings := runAnalyzers(pkg)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Check != "directive" {
+			t.Errorf("finding %v: check = %q, want \"directive\"", f, f.Check)
+		}
+	}
+	if !strings.Contains(findings[0].Message, "non-empty reason") {
+		t.Errorf("first finding should flag the missing reason, got %q", findings[0].Message)
+	}
+	if !strings.Contains(findings[1].Message, "unknown check") {
+		t.Errorf("second finding should flag the unknown check, got %q", findings[1].Message)
+	}
+}
+
+// TestLintMainJSON drives the CLI entry point end to end on a testdata
+// package: findings must come back as valid JSON and the exit code must
+// signal violations.
+func TestLintMainJSON(t *testing.T) {
+	stdout, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stdout.Close()
+	stderr, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stderr.Close()
+
+	code := lintMain([]string{"-json", "cmd/priview-lint/testdata/src/floatcmp"}, stdout, stderr)
+	if code != 1 {
+		data, _ := os.ReadFile(stderr.Name())
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, data)
+	}
+	data, err := os.ReadFile(stdout.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []struct {
+		Check   string `json:"check"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(data, &findings); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, data)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d JSON findings, want 2: %+v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Check != "floatcmp" {
+			t.Errorf("finding %+v: check = %q, want floatcmp", f, f.Check)
+		}
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	stdout, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stdout.Close()
+	if code := lintMain([]string{"-list"}, stdout, stdout); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	data, err := os.ReadFile(stdout.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range analyzers {
+		if !strings.Contains(string(data), a.Name) {
+			t.Errorf("-list output missing analyzer %q", a.Name)
+		}
+	}
+}

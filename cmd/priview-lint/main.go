@@ -1,0 +1,152 @@
+// Command priview-lint is the repository's static-analysis gate. It
+// loads and type-checks every package named on the command line and
+// runs four repo-specific analyzers that enforce invariants the Go
+// compiler cannot see:
+//
+//	randsource  privacy-critical randomness must flow through
+//	            internal/noise (no math/rand, no wall-clock seeding)
+//	floatcmp    no ==/!= between floating-point operands outside
+//	            tolerance helpers
+//	errdiscard  no silently discarded error returns in library code
+//	panicmsg    panics in internal/* must carry a "pkg:" prefix so
+//	            accounting failures are attributable
+//
+// A finding can be suppressed, with a mandatory written rationale, by a
+// comment on the offending line or the line above:
+//
+//	//lint:ignore <check> <reason>
+//
+// Usage:
+//
+//	priview-lint [-json] [-list] packages...
+//
+// Packages are directories relative to the module root; "./..." and
+// "dir/..." expand recursively. Exit status is 0 when clean, 1 when
+// findings were reported, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+func main() {
+	os.Exit(lintMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func lintMain(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("priview-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		emit(stderr, "usage: priview-lint [-json] [-list] packages...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			emit(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		emit(stderr, "priview-lint: %v\n", err)
+		return 2
+	}
+	l, err := newLoader(moduleDir)
+	if err != nil {
+		emit(stderr, "priview-lint: %v\n", err)
+		return 2
+	}
+	dirs, err := expandPatterns(moduleDir, fs.Args())
+	if err != nil {
+		emit(stderr, "priview-lint: %v\n", err)
+		return 2
+	}
+
+	var findings []Finding
+	for _, dir := range dirs {
+		path, err := importPathFor(l.moduleDir, l.modulePath, dir)
+		if err != nil {
+			emit(stderr, "priview-lint: %v\n", err)
+			return 2
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			emit(stderr, "priview-lint: %v\n", err)
+			return 2
+		}
+		findings = append(findings, runAnalyzers(pkg)...)
+	}
+
+	if *jsonOut {
+		type jsonFinding struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Check: f.Check, File: f.Pos.Filename,
+				Line: f.Pos.Line, Column: f.Pos.Column,
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			emit(stderr, "priview-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			emit(stdout, "%s\n", f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// emit writes CLI output to one of the process's standard streams; a
+// failed write there has no error sink, so the error is dropped here,
+// once, instead of at every call site.
+func emit(w *os.File, format string, args ...any) {
+	//lint:ignore errdiscard CLI output to the process streams; there is nowhere to report a write failure
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, so the tool works from any subdirectory of the module.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

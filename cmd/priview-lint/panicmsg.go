@@ -1,0 +1,81 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+var panicmsgAnalyzer = &Analyzer{
+	Name: "panicmsg",
+	Doc:  `panics in internal/* must carry a "pkg:"-prefixed message so accounting failures are attributable to a subsystem`,
+	Run:  runPanicmsg,
+}
+
+func runPanicmsg(pass *Pass) {
+	if !strings.HasPrefix(pass.Path, "priview/internal/") {
+		return
+	}
+	prefix := pass.Pkg.Name() + ":"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltinPanic(pass.Info, call) || len(call.Args) != 1 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			msg, analyzable := panicMessage(pass.Info, arg)
+			switch {
+			case !analyzable:
+				pass.Reportf(call.Pos(),
+					"panic value is not a literal message; panic with %q-prefixed text (e.g. fmt.Sprintf(%q, err)) so the failing subsystem is attributable", prefix, prefix+" %v")
+			case !strings.HasPrefix(msg, prefix):
+				pass.Reportf(call.Pos(),
+					"panic message %q must start with %q, the package's attribution prefix", truncate(msg, 40), prefix)
+			}
+			return true
+		})
+	}
+}
+
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// panicMessage extracts the statically known message of a panic
+// argument: a string literal/constant, or a fmt.Sprintf/fmt.Errorf call
+// whose format string is statically known.
+func panicMessage(info *types.Info, arg ast.Expr) (msg string, analyzable bool) {
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+		if s, err := strconv.Unquote(tv.Value.ExactString()); err == nil {
+			return s, true
+		}
+		return tv.Value.ExactString(), true
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	switch fn.FullName() {
+	case "fmt.Sprintf", "fmt.Errorf", "fmt.Sprint":
+		return panicMessage(info, ast.Unparen(call.Args[0]))
+	}
+	return "", false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// randsourceAllowed lists the only packages permitted to import
+// math/rand: the noise layer (which wraps it behind noise.Source /
+// noise.Stream so every draw is attributable to a privacy budget) and
+// the synthetic-data generators (which model public data, not private
+// records).
+var randsourceAllowed = map[string]bool{
+	"priview/internal/noise":         true,
+	"priview/internal/dataset/synth": true,
+}
+
+var randsourceAnalyzer = &Analyzer{
+	Name: "randsource",
+	Doc:  "privacy-critical randomness must flow through internal/noise: no math/rand imports elsewhere, no wall-clock seeding anywhere",
+	Run:  runRandsource,
+}
+
+func runRandsource(pass *Pass) {
+	for _, f := range pass.Files {
+		if !randsourceAllowed[pass.Path] {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(),
+						"import of %s outside internal/noise and internal/dataset/synth; draw randomness from a noise.Source so it is attributable to a privacy budget", path)
+				}
+			}
+		}
+		// Wall-clock seeding is forbidden everywhere, including the
+		// allowed packages: a time-seeded stream cannot be replayed, so
+		// a privacy-accounting bug in it cannot be reproduced.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			switch name {
+			case "Seed", "NewSource", "NewStream":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if at, found := findTimeNow(pass.Info, arg); found {
+					pass.Reportf(at.Pos(),
+						"%s seeded from time.Now: wall-clock seeds make privacy-critical randomness unreproducible; use a fixed experiment seed or noise.CryptoSource", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeName returns the bare name of a call's callee (F or x.F).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// findTimeNow reports whether expr contains a call to time.Now,
+// resolved through the type checker so import renaming cannot hide it.
+func findTimeNow(info *types.Info, expr ast.Expr) (ast.Node, bool) {
+	var at ast.Node
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if at != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.FullName() == "time.Now" {
+			at = call
+			return false
+		}
+		return true
+	})
+	return at, at != nil
+}

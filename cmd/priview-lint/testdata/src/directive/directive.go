@@ -1,0 +1,9 @@
+// Package directivedemo holds malformed suppression directives; the
+// driver must flag them rather than silently honoring or dropping them.
+package directivedemo
+
+//lint:ignore floatcmp
+func missingReason() {}
+
+//lint:ignore nosuchcheck the check name does not exist
+func unknownCheck() {}

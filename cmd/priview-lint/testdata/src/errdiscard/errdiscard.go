@@ -1,0 +1,48 @@
+// Package errdemo is a golden-file fixture for the errdiscard
+// analyzer.
+package errdemo
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func droppedStatement() {
+	os.Remove("scratch") // want:errdiscard
+}
+
+func blankAssign() {
+	_ = os.Remove("scratch") // want:errdiscard
+}
+
+func blankInTuple() string {
+	data, _ := os.ReadFile("scratch") // want:errdiscard
+	return string(data)
+}
+
+func deferredClose() error {
+	f, err := os.Open("scratch")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred: accepted idiom, not flagged
+	return nil
+}
+
+func vestigialErrors() string {
+	var b bytes.Buffer
+	var sb strings.Builder
+	b.WriteString("buffer writes never fail")
+	sb.WriteString("builder writes never fail")
+	fmt.Println("stdout printing is conventionally unchecked")
+	fmt.Fprintf(os.Stderr, "as is stderr\n")
+	fmt.Fprintf(&b, "and in-memory writers\n")
+	return b.String() + sb.String()
+}
+
+func suppressed() {
+	//lint:ignore errdiscard best-effort cleanup; the file may not exist
+	os.Remove("scratch")
+}

@@ -1,0 +1,37 @@
+// Package floatdemo is a golden-file fixture for the floatcmp
+// analyzer.
+package floatdemo
+
+func equal(a, b float64) bool {
+	return a == b // want:floatcmp
+}
+
+func notEqual(a float32, b float32) bool {
+	return a != b // want:floatcmp
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // the portable NaN test: not flagged
+}
+
+func intCompare(a, b int) bool {
+	return a == b // integers: not flagged
+}
+
+// approxEqual is a tolerance helper by name, so its internal exact
+// short-circuit is exempt.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp fixture demonstrating a documented exact comparison
+	return a == b
+}

@@ -1,0 +1,31 @@
+// Package panicdemo is a golden-file fixture for the panicmsg
+// analyzer; it is loaded as priview/internal/panicdemo, so panics must
+// carry the "panicdemo:" prefix.
+package panicdemo
+
+import "fmt"
+
+func goodLiteral() {
+	panic("panicdemo: invariant broken")
+}
+
+func goodSprintf(err error) {
+	panic(fmt.Sprintf("panicdemo: rebuild failed: %v", err))
+}
+
+func wrongPrefix() {
+	panic("elsewhere: not attributable here") // want:panicmsg
+}
+
+func noPrefix(n int) {
+	panic(fmt.Sprintf("cell %d out of range", n)) // want:panicmsg
+}
+
+func dynamicValue(err error) {
+	panic(err) // want:panicmsg
+}
+
+func suppressed(err error) {
+	//lint:ignore panicmsg re-panic of an already-attributed error
+	panic(err)
+}

@@ -1,0 +1,27 @@
+// Package randdemo is a golden-file fixture for the randsource
+// analyzer: it is loaded under an import path OUTSIDE the allowed set,
+// so the math/rand import and the wall-clock seed must both be flagged,
+// while the //lint:ignore'd seed must not.
+package randdemo
+
+import (
+	"math/rand" // want:randsource
+	"time"
+)
+
+func timeSeeded() float64 {
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want:randsource
+	return r.Float64()
+}
+
+func suppressedSeed() float64 {
+	//lint:ignore randsource fixture demonstrating an explicitly waived wall-clock seed
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return r.Float64()
+}
+
+func fixedSeed() float64 {
+	// A fixed seed is fine for the seed check; the import finding above
+	// still covers this package.
+	return rand.New(rand.NewSource(7)).Float64()
+}

@@ -1,0 +1,17 @@
+// Package noise is a fixture loaded AS priview/internal/noise, one of
+// the packages allowed to import math/rand — so the import must not be
+// flagged, but wall-clock seeding must still be.
+package noise
+
+import (
+	"math/rand"
+	"time"
+)
+
+func allowedImport() float64 {
+	return rand.New(rand.NewSource(7)).Float64()
+}
+
+func stillNoWallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want:randsource
+}

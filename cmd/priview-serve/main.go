@@ -35,21 +35,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "priview-serve: -synopsis is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*synPath)
+	syn, err := loadSynopsis(*synPath)
 	if err != nil {
 		log.Fatalf("priview-serve: %v", err)
 	}
-	syn, err := core.Load(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("priview-serve: %v", err)
-	}
-	h := server.New(syn, *maxK)
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           h,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
+	srv := newServer(syn, *addr, *maxK)
 	if dg := syn.Design(); dg != nil {
 		log.Printf("serving synopsis %s (ε=%g) on %s", dg.Name(), syn.Epsilon(), *addr)
 	} else {
@@ -57,5 +47,30 @@ func main() {
 	}
 	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 		log.Fatalf("priview-serve: %v", err)
+	}
+}
+
+// loadSynopsis reads a synopsis published by `priview build`.
+func loadSynopsis(path string) (*core.Synopsis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	syn, err := core.Load(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return syn, nil
+}
+
+// newServer assembles the HTTP server around a loaded synopsis.
+func newServer(syn *core.Synopsis, addr string, maxK int) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           server.New(syn, maxK),
+		ReadHeaderTimeout: 5 * time.Second,
 	}
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"priview"
+)
+
+// buildSynopsisFile publishes a tiny synopsis the way `priview build`
+// would, returning its path.
+func buildSynopsisFile(t *testing.T) string {
+	t.Helper()
+	const d = 6
+	records := make([]uint64, 200)
+	for i := range records {
+		records[i] = uint64(i*2654435761) & ((1 << d) - 1)
+	}
+	data := priview.NewDataset(d, records)
+	plan := priview.PlanDesign(d, data.Len(), 1.0, 1)
+	syn := priview.Build(data, priview.Config{Epsilon: 1.0, Design: plan.Design}, 42)
+
+	path := filepath.Join(t.TempDir(), "synopsis.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syn.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeSmoke drives the command's own plumbing end to end: load a
+// published synopsis from disk, assemble the server, and answer health
+// and marginal queries over a real TCP socket.
+func TestServeSmoke(t *testing.T) {
+	syn, err := loadSynopsis(buildSynopsisFile(t))
+	if err != nil {
+		t.Fatalf("loadSynopsis: %v", err)
+	}
+	srv := newServer(syn, "127.0.0.1:0", 8)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+		if err := <-done; err != http.ErrServerClosed {
+			t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+		}
+	})
+
+	base := "http://" + ln.Addr().String()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: status %d, body %q", code, body)
+	}
+	if code, body := get("/v1/marginal?attrs=0,1"); code != http.StatusOK {
+		t.Errorf("/v1/marginal: status %d, body %q", code, body)
+	}
+}
+
+func TestLoadSynopsisMissingFile(t *testing.T) {
+	if _, err := loadSynopsis(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("loadSynopsis on a missing file should fail")
+	}
+}

@@ -255,7 +255,9 @@ func cmdBuild(args []string) error {
 			return err
 		}
 		design, err = covering.ReadDesign(f, data.Dim(), *t)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -298,7 +300,9 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	syn, err := core.Load(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,8 @@ package main
 
 import (
 	"fmt"
+
+	//lint:ignore randsource fixed-seed toy data generation for the demo; the records are public inputs, not a DP mechanism
 	"math/rand"
 
 	"priview"

@@ -37,7 +37,7 @@ func redistribute(t *marginal.Table) {
 	const maxIter = 64
 	for i := 0; i < maxIter; i++ {
 		removed := t.ClampNegatives()
-		if removed == 0 {
+		if removed <= 0 {
 			return
 		}
 		share := removed / float64(t.Size())

@@ -91,7 +91,7 @@ func (d *Dataset) Marginal(attrs []int) *Table {
 // correlated through the profile.
 func SynthSurvey(schema Schema, n int, seed int64) *Dataset {
 	if err := schema.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("categorical: SynthSurvey: %v", err))
 	}
 	rng := noise.NewStream(seed).Derive("survey")
 	const profiles = 4
@@ -119,7 +119,7 @@ func SynthSurvey(schema Schema, n int, seed int64) *Dataset {
 	}
 	d, err := NewDataset(schema, records)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("categorical: SynthSurvey: %v", err))
 	}
 	return d
 }

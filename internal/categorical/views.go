@@ -50,7 +50,7 @@ func RecommendedCellBudget(b int) (lo, hi int) {
 // the most uncovered pairs; ties break randomly via rng.
 func GreedyPairViews(schema Schema, cellBudget int, rng *noise.Stream) [][]int {
 	if err := schema.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("categorical: GreedyPairViews: %v", err))
 	}
 	d := len(schema)
 	// A view must hold at least one pair of attributes: check the two

@@ -71,7 +71,7 @@ func Global(t *marginal.Table) {
 	const maxIter = 64
 	for iter := 0; iter < maxIter; iter++ {
 		removed := t.ClampNegatives()
-		if removed == 0 {
+		if removed <= 0 {
 			return
 		}
 		// Count positive cells.

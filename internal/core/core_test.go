@@ -195,6 +195,9 @@ func TestSynopsisName(t *testing.T) {
 }
 
 func TestPlanDesignPicksHigherTForGenerousBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skipf("skipping in -short mode: plans designs across a budget sweep")
+	}
 	// Kosarak-scale: d=32, N≈900k. At ε=1 the paper chooses t=3; at
 	// ε=0.1 it falls back to t=2.
 	rich := PlanDesign(32, 900000, 1.0, 1)
@@ -295,6 +298,9 @@ func TestParallelBuildDeterministic(t *testing.T) {
 // (σ ∝ √w) wins over Laplace's L1 split (scale ∝ w) once w exceeds
 // ~2·ln(1.25/δ).
 func TestGaussianBeatsLaplaceForLargeW(t *testing.T) {
+	if testing.Short() {
+		t.Skipf("skipping in -short mode: builds synopses at several w")
+	}
 	data := synth.Kosarak(100000, 70)
 	dg := covering.Best(32, 8, 3, 1, 2) // w ≈ 170 views
 	attrs := []int{0, 9, 17, 30}

@@ -110,10 +110,10 @@ func (d *Dataset) OneWayDensities() []float64 {
 			r &= r - 1
 		}
 	}
-	n := float64(len(d.records))
-	if n == 0 {
+	if len(d.records) == 0 {
 		return counts
 	}
+	n := float64(len(d.records))
 	for i := range counts {
 		counts[i] /= n
 	}

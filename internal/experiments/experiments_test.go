@@ -62,6 +62,9 @@ func TestFig1SmokeAndOrdering(t *testing.T) {
 
 func TestFig2KosarakOrdersOfMagnitude(t *testing.T) {
 	if testing.Short() {
+		t.Skipf("skipping in -short mode: full Kosarak/AOL sweep")
+	}
+	if testing.Short() {
 		t.Skip("fig2 reduced run still costs seconds")
 	}
 	cfg := tiny()
@@ -90,6 +93,9 @@ func TestFig2KosarakOrdersOfMagnitude(t *testing.T) {
 
 func TestFig3ReconstructionOrdering(t *testing.T) {
 	if testing.Short() {
+		t.Skipf("skipping in -short mode: all reconstruction methods on the full grid")
+	}
+	if testing.Short() {
 		t.Skip("fig3 involves per-query LP solves")
 	}
 	cfg := Config{Queries: 3, Runs: 1, N: 10000, Seed: 1}
@@ -110,6 +116,9 @@ func TestFig3ReconstructionOrdering(t *testing.T) {
 }
 
 func TestFig4NonnegOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skipf("skipping in -short mode: all non-negativity methods on the full grid")
+	}
 	if testing.Short() {
 		t.Skip("fig4 reduced run still costs seconds")
 	}
@@ -152,6 +161,9 @@ func TestFig5RunsAllOrders(t *testing.T) {
 }
 
 func TestFig6IncludesNoiseErrorStars(t *testing.T) {
+	if testing.Short() {
+		t.Skipf("skipping in -short mode: full covering-design comparison")
+	}
 	if testing.Short() {
 		t.Skip("fig6 builds many designs")
 	}
@@ -201,6 +213,9 @@ func TestTabEll(t *testing.T) {
 }
 
 func TestTabKosarakT(t *testing.T) {
+	if testing.Short() {
+		t.Skipf("skipping in -short mode: paper-scale Kosarak table")
+	}
 	tab := RunTabKosarakT(1)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("%d rows, want 3", len(tab.Rows))
@@ -296,6 +311,9 @@ func TestRecommendedCellBudgetShape(t *testing.T) {
 
 func TestRuntimeTable(t *testing.T) {
 	if testing.Short() {
+		t.Skipf("skipping in -short mode: wall-clock measurement run")
+	}
+	if testing.Short() {
 		t.Skip("runtime table builds four synopses")
 	}
 	cfg := Config{Queries: 1, Runs: 1, N: 3000, Seed: 1}
@@ -378,6 +396,9 @@ func TestFormatAndCSV(t *testing.T) {
 }
 
 func TestAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skipf("skipping in -short mode: full ablation sweep")
+	}
 	if testing.Short() {
 		t.Skip("ablation builds several synopses")
 	}

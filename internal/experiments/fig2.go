@@ -83,7 +83,7 @@ func runFig2Dataset(cfg Config, ds largeDataset) []Row {
 	for i, dg := range designs {
 		noNoise[i] = core.BuildSynopsis(ds.data, core.Config{Design: dg, NoNoise: true}, nil)
 	}
-	for _, eps := range fig2Epsilons {
+	for epsIdx, eps := range fig2Epsilons {
 		epsKey := int(eps * 1000)
 		priview := make([][]*core.Synopsis, len(designs))
 		for i, dg := range designs {
@@ -130,7 +130,7 @@ func runFig2Dataset(cfg Config, ds largeDataset) []Row {
 				})
 				// The C_t^* no-noise series isolates coverage error; it
 				// does not depend on eps, so emit it once.
-				if eps == fig2Epsilons[0] {
+				if epsIdx == 0 {
 					addBoth("PriView*", design.Name()+" no-noise", func(run int) synopsis {
 						return noNoise[i]
 					})

@@ -219,8 +219,10 @@ func Solve(p *Problem) (*Solution, error) {
 		obj[j] = p.Objective[j]
 	}
 	for i, bi := range t.basis {
+		// Coefficients within the solver's tolerance of zero are treated
+		// as zero, consistent with the reduced-cost threshold in iterate.
 		f := obj[bi]
-		if f != 0 {
+		if math.Abs(f) > eps {
 			ri := t.rows[i]
 			for j := 0; j <= cols; j++ {
 				obj[j] -= f * ri[j]
@@ -305,8 +307,12 @@ func (t *tableau) pivot(row, col int) {
 		if i == row {
 			continue
 		}
+		// Drop tolerance: entries within eps of zero are snapped to zero
+		// instead of eliminated, so rounding dust from earlier pivots
+		// does not trigger full-row updates.
 		f := ri[col]
-		if f == 0 {
+		if math.Abs(f) <= eps {
+			ri[col] = 0
 			continue
 		}
 		for j := range ri {

@@ -39,10 +39,12 @@ func KLDivergence(p, q *marginal.Table) float64 {
 	d := 0.0
 	for i := range pn.Cells {
 		pi := pn.Cells[i]
+		//lint:ignore floatcmp x·log x → 0 as x → 0, so only an exactly zero cell may be skipped
 		if pi == 0 {
 			continue
 		}
 		qi := qn.Cells[i]
+		//lint:ignore floatcmp KL is infinite only when Q's cell is exactly zero; a tolerance would misreport near-zero support
 		if qi == 0 {
 			return math.Inf(1)
 		}
@@ -67,6 +69,7 @@ func JSDivergence(p, q *marginal.Table) float64 {
 		d := 0.0
 		for i := range a.Cells {
 			ai := a.Cells[i]
+			//lint:ignore floatcmp x·log x → 0 as x → 0, so only an exactly zero cell may be skipped
 			if ai == 0 {
 				continue
 			}

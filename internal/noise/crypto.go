@@ -1,0 +1,30 @@
+package noise
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+)
+
+// CryptoSource is a crypto/rand-backed Source: the production
+// alternative to the deterministic experiment streams. Floating-point
+// attacks on DP implementations (Mironov 2012) start from predictable
+// generators, so an actual release of a synopsis should draw its noise
+// from the operating system's CSPRNG rather than a seeded Stream.
+//
+// The zero value is ready to use and safe for concurrent use; it holds
+// no state. It panics if the OS entropy source fails, since silently
+// degraded randomness would void the privacy guarantee.
+type CryptoSource struct{}
+
+var _ Source = CryptoSource{}
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits of
+// mantissa, the same resolution math/rand provides.
+func (CryptoSource) Float64() float64 {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(fmt.Sprintf("noise: crypto source: %v", err))
+	}
+	return float64(binary.LittleEndian.Uint64(buf[:])>>11) / (1 << 53)
+}

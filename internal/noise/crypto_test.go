@@ -1,0 +1,41 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+// The compile-time assertion lives in crypto.go; this test exercises
+// the contract: values in [0, 1), not degenerate, roughly uniform.
+func TestCryptoSourceRange(t *testing.T) {
+	var src CryptoSource
+	const n = 20000
+	sum := 0.0
+	distinct := make(map[float64]struct{})
+	for i := 0; i < n; i++ {
+		v := src.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw %d: %v outside [0, 1)", i, v)
+		}
+		sum += v
+		distinct[v] = struct{}{}
+	}
+	// Mean of Uniform[0,1) is 1/2 with sd 1/sqrt(12n) ≈ 0.002; a 0.02
+	// band is a > 9-sigma allowance, so flakes mean real breakage.
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean of %d draws = %v, want ≈ 0.5", n, mean)
+	}
+	if len(distinct) < n/2 {
+		t.Errorf("only %d distinct values in %d draws", len(distinct), n)
+	}
+}
+
+func TestCryptoSourceFeedsLaplace(t *testing.T) {
+	var src CryptoSource
+	for i := 0; i < 100; i++ {
+		v := Laplace(src, 1.0)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Laplace(CryptoSource, 1) = %v", v)
+		}
+	}
+}

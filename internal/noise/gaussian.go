@@ -11,6 +11,7 @@ func Gaussian(src Source, sigma float64) float64 {
 	}
 	// Box–Muller with guards against log(0).
 	u1 := src.Float64()
+	//lint:ignore floatcmp log(u1) is finite for every u1 except exactly zero; rejecting more would bias the sample
 	for u1 == 0 {
 		u1 = src.Float64()
 	}

@@ -27,6 +27,7 @@ func Laplace(src Source, b float64) float64 {
 	// u is uniform on (-1/2, 1/2]; the inverse CDF of Laplace(0, b) is
 	// -b * sgn(u) * ln(1 - 2|u|).
 	u := src.Float64() - 0.5
+	//lint:ignore floatcmp the inverse CDF is exact at u = 0; treating near-zero u as zero would flatten the distribution's peak
 	if u == 0 {
 		return 0
 	}

@@ -111,6 +111,7 @@ func (a *Accountant) Summary() string {
 		labels = append(labels, l)
 	}
 	sort.Slice(labels, func(i, j int) bool {
+		//lint:ignore floatcmp sort tie-break: equality only picks the ordering branch, it never feeds accounting
 		if byLabel[labels[i]] != byLabel[labels[j]] {
 			return byLabel[labels[i]] > byLabel[labels[j]]
 		}

@@ -46,6 +46,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	//lint:ignore errdiscard health-probe response; a client that hung up cannot be told about it
 	fmt.Fprintln(w, "ok")
 }
 
