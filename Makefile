@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check
+.PHONY: all build vet lint test race chaos check
 
 all: build
 
@@ -27,4 +27,11 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-check: build vet lint race
+# The fault-injection suite: chaos transport + slow-synopsis tests,
+# deadline/shedding/panic status mapping, retrying client, graceful
+# shutdown. Always under the race detector — the failure paths are
+# exactly where concurrency bugs hide. See DESIGN.md §7.
+chaos:
+	$(GO) test -race ./internal/chaos/ ./internal/server/ ./cmd/priview-serve/
+
+check: build vet lint race chaos

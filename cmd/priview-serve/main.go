@@ -8,18 +8,27 @@
 //
 // Endpoints:
 //
-//	GET /healthz                          liveness probe
+//	GET /healthz                          liveness probe (503 while draining)
 //	GET /v1/info                          release metadata
 //	GET /v1/marginal?attrs=1,5,9          reconstruct a marginal
 //	GET /v1/marginal?attrs=1,5&method=CLN alternative estimator
+//
+// Failure model: -query-timeout bounds each reconstruction (504 on
+// expiry), -max-inflight sheds excess concurrent queries (429 +
+// Retry-After), and SIGINT/SIGTERM drains gracefully — /healthz flips
+// to 503 so load balancers stop routing, in-flight queries run to
+// completion (up to -drain-timeout), then the listener closes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"priview/internal/core"
@@ -30,6 +39,9 @@ func main() {
 	synPath := flag.String("synopsis", "", "synopsis file from `priview build` (required)")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxK := flag.Int("max-k", 12, "largest marginal size a request may ask for")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request reconstruction deadline (0 disables; expiry returns 504)")
+	maxInflight := flag.Int("max-inflight", 64, "concurrent marginal queries before shedding with 429 (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries before closing connections")
 	flag.Parse()
 	if *synPath == "" {
 		fmt.Fprintln(os.Stderr, "priview-serve: -synopsis is required")
@@ -39,15 +51,47 @@ func main() {
 	if err != nil {
 		log.Fatalf("priview-serve: %v", err)
 	}
-	srv := newServer(syn, *addr, *maxK)
+	handler, srv := newServer(syn, *addr, server.Options{
+		MaxK:         *maxK,
+		QueryTimeout: *queryTimeout,
+		MaxInflight:  *maxInflight,
+	})
 	if dg := syn.Design(); dg != nil {
 		log.Printf("serving synopsis %s (ε=%g) on %s", dg.Name(), syn.Epsilon(), *addr)
 	} else {
 		log.Printf("serving synopsis (ε=%g) on %s", syn.Epsilon(), *addr)
 	}
-	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-done:
+		// Listener failed before any signal (e.g. port in use).
 		log.Fatalf("priview-serve: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately via the default handler
+		log.Printf("signal received, draining for up to %v", *drainTimeout)
+		if err := shutdown(srv, handler, *drainTimeout); err != nil {
+			log.Printf("priview-serve: drain incomplete: %v", err)
+		}
+		if err := <-done; err != http.ErrServerClosed {
+			log.Fatalf("priview-serve: %v", err)
+		}
+		log.Printf("drained, exiting")
 	}
+}
+
+// shutdown drains srv gracefully: the handler's health probe flips to
+// 503 so load balancers stop routing new work, then http.Server.Shutdown
+// waits up to drain for in-flight requests before closing connections.
+func shutdown(srv *http.Server, handler *server.Server, drain time.Duration) error {
+	handler.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return srv.Shutdown(ctx)
 }
 
 // loadSynopsis reads a synopsis published by `priview build`.
@@ -66,11 +110,14 @@ func loadSynopsis(path string) (*core.Synopsis, error) {
 	return syn, nil
 }
 
-// newServer assembles the HTTP server around a loaded synopsis.
-func newServer(syn *core.Synopsis, addr string, maxK int) *http.Server {
-	return &http.Server{
+// newServer assembles the HTTP server around a loaded synopsis,
+// returning both the PriView handler (for drain control) and the
+// http.Server wrapping it.
+func newServer(syn server.Querier, addr string, opt server.Options) (*server.Server, *http.Server) {
+	handler := server.NewWithOptions(syn, opt)
+	return handler, &http.Server{
 		Addr:              addr,
-		Handler:           server.New(syn, maxK),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 }

@@ -1,15 +1,22 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"priview"
+	"priview/internal/chaos"
+	"priview/internal/core"
+	"priview/internal/marginal"
+	"priview/internal/server"
 )
 
 // buildSynopsisFile publishes a tiny synopsis the way `priview build`
@@ -47,7 +54,7 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loadSynopsis: %v", err)
 	}
-	srv := newServer(syn, "127.0.0.1:0", 8)
+	_, srv := newServer(syn, "127.0.0.1:0", server.Options{MaxK: 8})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -92,5 +99,110 @@ func TestServeSmoke(t *testing.T) {
 func TestLoadSynopsisMissingFile(t *testing.T) {
 	if _, err := loadSynopsis(filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Fatal("loadSynopsis on a missing file should fail")
+	}
+}
+
+// gatedQuerier signals when a query reaches the synopsis and holds it
+// until released, so the shutdown test can deterministically have a
+// request in flight while the server drains.
+type gatedQuerier struct {
+	server.Querier
+	arrived chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedQuerier) QueryMethodContext(ctx context.Context, attrs []int, method core.ReconstructMethod) (*marginal.Table, error) {
+	g.once.Do(func() { close(g.arrived) })
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return g.Querier.QueryMethodContext(ctx, attrs, method)
+}
+
+// TestGracefulShutdownDrains proves the drain semantics: on shutdown
+// the health probe flips to 503 while the listener still answers, an
+// in-flight marginal query runs to completion rather than being cut,
+// and Serve returns http.ErrServerClosed.
+func TestGracefulShutdownDrains(t *testing.T) {
+	syn, err := loadSynopsis(buildSynopsisFile(t))
+	if err != nil {
+		t.Fatalf("loadSynopsis: %v", err)
+	}
+	gated := &gatedQuerier{
+		Querier: &chaos.SlowSynopsis{Querier: syn, Delay: 10 * time.Millisecond},
+		arrived: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	handler, srv := newServer(gated, "127.0.0.1:0", server.Options{MaxK: 8, QueryTimeout: 30 * time.Second})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/marginal?attrs=0,1")
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); err == nil {
+			err = cerr
+		}
+		inflight <- result{code: resp.StatusCode, body: string(body), err: err}
+	}()
+
+	select {
+	case <-gated.arrived:
+	case <-time.After(10 * time.Second):
+		t.Fatal("query never reached the synopsis")
+	}
+
+	// Pre-drain: the probe reports healthy. Draining: 503, while the
+	// in-flight query is still being served.
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz before drain: %v %v", resp, err)
+	} else if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	handler.SetDraining(true)
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while draining: want 503, got %v %v", resp, err)
+	} else if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- shutdown(srv, handler, 10*time.Second) }()
+	// Let Shutdown close the listener and start waiting on the
+	// in-flight connection before releasing the gated query.
+	time.Sleep(50 * time.Millisecond)
+	close(gated.release)
+
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	res := <-inflight
+	if res.err != nil || res.code != http.StatusOK {
+		t.Errorf("in-flight query not drained: code=%d err=%v body=%q", res.code, res.err, res.body)
+	}
+	if !strings.Contains(res.body, "cells") {
+		t.Errorf("drained response is not a marginal: %q", res.body)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
 	}
 }

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -286,11 +288,36 @@ func (s *Synopsis) Query(attrs []int) *marginal.Table {
 	return s.QueryMethod(attrs, s.cfg.Method)
 }
 
+// QueryContext is Query with cooperative cancellation threaded into the
+// reconstruction solvers; see QueryMethodContext for the error surface.
+func (s *Synopsis) QueryContext(ctx context.Context, attrs []int) (*marginal.Table, error) {
+	return s.QueryMethodContext(ctx, attrs, s.cfg.Method)
+}
+
 // QueryMethod is Query with an explicit estimator, leaving the synopsis
 // configuration untouched — callers serving concurrent requests with
 // different estimators use this. It is safe for concurrent use: all
 // reconstruction paths read the views without mutating them.
 func (s *Synopsis) QueryMethod(attrs []int, method ReconstructMethod) *marginal.Table {
+	t, err := s.QueryMethodContext(context.Background(), attrs, method)
+	if err != nil {
+		// Unreachable: context.Background is never canceled, and every
+		// non-cancellation solver failure falls back to maxent.
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return t
+}
+
+// QueryMethodContext is QueryMethod with cooperative cancellation: the
+// caller's deadline or cancellation is threaded into the iterative
+// solvers, which abandon the reconstruction and surface
+// reconstruct.ErrDeadline or reconstruct.ErrCanceled (both also
+// matching the context sentinels under errors.Is). A query whose ctx
+// stays live never returns an error.
+func (s *Synopsis) QueryMethodContext(ctx context.Context, attrs []int, method ReconstructMethod) (*marginal.Table, error) {
+	if err := reconstruct.ContextErr(ctx); err != nil {
+		return nil, err
+	}
 	canonical := marginal.New(attrs).Attrs
 	source := s.views
 	if method == LP {
@@ -301,27 +328,30 @@ func (s *Synopsis) QueryMethod(attrs []int, method ReconstructMethod) *marginal.
 			// Raw views may carry negatives even in the covered case.
 			clamped := t.Clone()
 			clamped.ClampNegatives()
-			return clamped
+			return clamped, nil
 		}
-		return t
+		return t, nil
 	}
 	cons := reconstruct.ConstraintsFromViews(source, canonical)
 	switch method {
 	case CME:
-		return reconstruct.MaxEnt(canonical, s.total, cons, s.cfg.Reconstruct)
+		return reconstruct.MaxEntContext(ctx, canonical, s.total, cons, s.cfg.Reconstruct)
 	case CMEDual:
-		return reconstruct.MaxEntDual(canonical, s.total, cons, s.cfg.Reconstruct)
+		return reconstruct.MaxEntDualContext(ctx, canonical, s.total, cons, s.cfg.Reconstruct)
 	case CLN:
-		return reconstruct.LeastSquares(canonical, s.total, cons, s.cfg.Reconstruct)
+		return reconstruct.LeastSquaresContext(ctx, canonical, s.total, cons, s.cfg.Reconstruct)
 	case LP, CLP:
-		t, err := reconstruct.LinProg(canonical, cons)
+		t, err := reconstruct.LinProgContext(ctx, canonical, cons)
 		if err != nil {
+			if errors.Is(err, reconstruct.ErrCanceled) || errors.Is(err, reconstruct.ErrDeadline) {
+				return nil, err
+			}
 			// The LP is always feasible (τ is unconstrained above), so
 			// failures indicate numerical trouble; fall back to maxent
 			// rather than returning nothing.
-			return reconstruct.MaxEnt(canonical, s.total, cons, s.cfg.Reconstruct)
+			return reconstruct.MaxEntContext(ctx, canonical, s.total, cons, s.cfg.Reconstruct)
 		}
-		return t
+		return t, nil
 	default:
 		panic(fmt.Sprintf("core: unknown reconstruction method %d", int(method)))
 	}

@@ -13,6 +13,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -57,6 +58,11 @@ var (
 const (
 	eps     = 1e-9
 	maxIter = 500000
+	// ctxCheckEvery bounds how many pivots run between cancellation
+	// checks in SolveContext. A pivot touches the full tableau, so for
+	// the dense problems here this keeps the check overhead well under
+	// 1% while still reacting to a canceled context within milliseconds.
+	ctxCheckEvery = 256
 )
 
 // tableau holds the dense simplex state.
@@ -70,6 +76,14 @@ type tableau struct {
 
 // Solve runs two-phase simplex and returns the optimal solution.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve with cooperative cancellation: the pivot loop
+// polls ctx every ctxCheckEvery iterations and aborts with ctx.Err()
+// (wrapped) once the caller cancels or the deadline passes, instead of
+// pivoting all the way to the iteration limit.
+func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 	n := p.NumVars
 	if n <= 0 {
 		return nil, errors.New("lp: no variables")
@@ -177,7 +191,7 @@ func Solve(p *Problem) (*Solution, error) {
 				}
 			}
 		}
-		if err := t.iterate(); err != nil {
+		if err := t.iterate(ctx); err != nil {
 			return nil, err
 		}
 		if t.rows[m][cols] < -eps {
@@ -229,7 +243,7 @@ func Solve(p *Problem) (*Solution, error) {
 			}
 		}
 	}
-	if err := t.iterate(); err != nil {
+	if err := t.iterate(ctx); err != nil {
 		return nil, err
 	}
 
@@ -249,10 +263,15 @@ func Solve(p *Problem) (*Solution, error) {
 // iterate runs primal simplex until optimal, using Dantzig's rule with a
 // fallback to Bland's rule after a stall budget to guarantee
 // termination.
-func (t *tableau) iterate() error {
+func (t *tableau) iterate(ctx context.Context) error {
 	const blandAfter = 20000
 	obj := t.rows[t.m]
 	for iter := 0; iter < maxIter; iter++ {
+		if iter%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("lp: %w", err)
+			}
+		}
 		enter := -1
 		if iter < blandAfter {
 			best := -eps

@@ -1,0 +1,48 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSolveContextCanceled: a canceled context aborts the simplex
+// before any pivoting and surfaces the context sentinel via errors.Is.
+func TestSolveContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: GE, B: 1},
+		},
+	}
+	if _, err := SolveContext(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveContextBackground pins the wrapper contract: Solve is
+// exactly SolveContext with a background context.
+func TestSolveContextBackground(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: LE, B: 4},
+			{Coef: []float64{1, 0}, Rel: LE, B: 3},
+		},
+	}
+	a, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveContext(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Obj != b.Obj { //lint:ignore floatcmp identical deterministic pivot sequences must agree bit-for-bit
+		t.Errorf("Solve obj %v != SolveContext obj %v", a.Obj, b.Obj)
+	}
+}

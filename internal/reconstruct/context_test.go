@@ -1,0 +1,110 @@
+package reconstruct
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"priview/internal/marginal"
+)
+
+// conflictingCons builds a constraint set IPF can never satisfy: the
+// two views disagree wildly on attribute 1's marginal, so the fit
+// oscillates instead of converging and only the iteration budget (or a
+// deadline) stops it.
+func conflictingCons() []*marginal.Table {
+	c1 := marginal.New([]int{0, 1})
+	copy(c1.Cells, []float64{100, 100, 400, 400}) // attr1=1 carries 800
+	c2 := marginal.New([]int{1, 2})
+	copy(c2.Cells, []float64{400, 100, 400, 100}) // attr1=1 carries 200
+	return []*marginal.Table{c1, c2}
+}
+
+var hugeOpt = Options{MaxIter: 100_000_000, Tol: 1e-12}
+
+// TestMaxEntContextDeadline is the cancelable-CME proof: with an
+// iteration budget that would run for minutes, the deadline stops the
+// fit within milliseconds and surfaces ErrDeadline.
+func TestMaxEntContextDeadline(t *testing.T) {
+	attrs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	table, err := MaxEntContext(ctx, attrs, 1000, conflictingCons(), hugeOpt)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err %v does not match context.DeadlineExceeded under errors.Is", err)
+	}
+	if table != nil {
+		t.Error("canceled solve returned a table")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("deadline ignored: solve ran %v", elapsed)
+	}
+}
+
+func TestLeastSquaresContextDeadline(t *testing.T) {
+	attrs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := LeastSquaresContext(ctx, attrs, 1000, conflictingCons(), hugeOpt)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline ignored: solve ran %v", elapsed)
+	}
+}
+
+func TestContextVariantsCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attrs := []int{0, 1, 2}
+	cons := conflictingCons()
+	cases := map[string]func() error{
+		"MaxEnt": func() error {
+			_, err := MaxEntContext(ctx, attrs, 100, cons, Options{})
+			return err
+		},
+		"MaxEntDual": func() error {
+			_, err := MaxEntDualContext(ctx, attrs, 100, cons, Options{})
+			return err
+		},
+		"LeastSquares": func() error {
+			_, err := LeastSquaresContext(ctx, attrs, 100, cons, Options{})
+			return err
+		},
+		"LinProg": func() error {
+			_, err := LinProgContext(ctx, attrs, cons)
+			return err
+		},
+	}
+	for name, run := range cases {
+		if err := run(); !errors.Is(err, ErrCanceled) {
+			t.Errorf("%s: err = %v, want ErrCanceled", name, err)
+		} else if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err %v does not match context.Canceled under errors.Is", name, err)
+		}
+	}
+}
+
+// TestWrappersMatchContextVariants pins the wrapper contract: the
+// ctx-less entry points must be exactly the Background-context solve.
+func TestWrappersMatchContextVariants(t *testing.T) {
+	attrs := []int{0, 1, 2}
+	cons := conflictingCons()
+	opt := Options{MaxIter: 50}
+	plain := MaxEnt(attrs, 1000, cons, opt)
+	viaCtx, err := MaxEntContext(context.Background(), attrs, 1000, cons, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !marginal.Equal(plain, viaCtx, 0) {
+		t.Error("MaxEnt and MaxEntContext(Background) disagree")
+	}
+}

@@ -1,6 +1,8 @@
 package reconstruct
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"priview/internal/marginal"
@@ -16,14 +18,26 @@ import (
 // IPF solver (the two must agree on consistent inputs) and as the
 // natural extension point for stochastic/accelerated variants.
 func MaxEntDual(attrs []int, total float64, cons []*marginal.Table, opt Options) *marginal.Table {
+	t, err := MaxEntDualContext(context.Background(), attrs, total, cons, opt)
+	if err != nil {
+		// Unreachable: context.Background is never canceled.
+		panic(fmt.Sprintf("reconstruct: %v", err))
+	}
+	return t
+}
+
+// MaxEntDualContext is MaxEntDual with cooperative cancellation: every
+// few dual-ascent steps it polls ctx and returns ErrCanceled or
+// ErrDeadline instead of running out its iteration budget.
+func MaxEntDualContext(ctx context.Context, attrs []int, total float64, cons []*marginal.Table, opt Options) (*marginal.Table, error) {
 	t := marginal.New(attrs)
 	if total <= 0 {
-		return t
+		return t, nil
 	}
 	cons = sanitize(MaximalConstraints(cons), total)
 	if len(cons) == 0 {
 		t.Fill(total / float64(t.Size()))
-		return t
+		return t, nil
 	}
 	type prepared struct {
 		target *marginal.Table
@@ -50,6 +64,11 @@ func MaxEntDual(attrs []int, total float64, cons []*marginal.Table, opt Options)
 	prevWorst := math.Inf(1)
 	maxIter := opt.maxIter() * 4 // dual ascent needs more, cheaper steps
 	for iter := 0; iter < maxIter; iter++ {
+		if iter%ctxCheckEvery == 0 {
+			if err := ContextErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		// Primal from multipliers.
 		maxLogit := math.Inf(-1)
 		for a := 0; a < n; a++ {
@@ -107,5 +126,5 @@ func MaxEntDual(attrs []int, total float64, cons []*marginal.Table, opt Options)
 			}
 		}
 	}
-	return t
+	return t, nil
 }

@@ -9,6 +9,9 @@
 package reconstruct
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 
 	"priview/internal/lp"
@@ -144,14 +147,27 @@ func sanitize(cons []*marginal.Table, total float64) []*marginal.Table {
 // near the relaxed solution, matching the paper's gradual-relaxation
 // fallback.
 func MaxEnt(attrs []int, total float64, cons []*marginal.Table, opt Options) *marginal.Table {
+	t, err := MaxEntContext(context.Background(), attrs, total, cons, opt)
+	if err != nil {
+		// Unreachable: context.Background is never canceled.
+		panic(fmt.Sprintf("reconstruct: %v", err))
+	}
+	return t
+}
+
+// MaxEntContext is MaxEnt with cooperative cancellation: every few IPF
+// cycles it polls ctx and, when the caller has canceled or the deadline
+// has passed, abandons the fit and returns ErrCanceled or ErrDeadline
+// instead of running to MaxIter.
+func MaxEntContext(ctx context.Context, attrs []int, total float64, cons []*marginal.Table, opt Options) (*marginal.Table, error) {
 	t := marginal.New(attrs)
 	if total <= 0 {
-		return t
+		return t, nil
 	}
 	t.Fill(total / float64(t.Size()))
 	cons = sanitize(MaximalConstraints(cons), total)
 	if len(cons) == 0 {
-		return t
+		return t, nil
 	}
 	type prepared struct {
 		target *marginal.Table
@@ -167,6 +183,11 @@ func MaxEnt(attrs []int, total float64, cons []*marginal.Table, opt Options) *ma
 		proj[i] = make([]float64, cons[i].Size())
 	}
 	for iter := 0; iter < opt.maxIter(); iter++ {
+		if iter%ctxCheckEvery == 0 {
+			if err := ContextErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		worst := 0.0
 		for i, p := range prep {
 			// Current projection.
@@ -202,7 +223,7 @@ func MaxEnt(attrs []int, total float64, cons []*marginal.Table, opt Options) *ma
 			break
 		}
 	}
-	return t
+	return t, nil
 }
 
 // LeastSquares reconstructs the minimum-L2-norm non-negative marginal
@@ -211,11 +232,23 @@ func MaxEnt(attrs []int, total float64, cons []*marginal.Table, opt Options) *ma
 // from the origin, Dykstra converges to the projection of 0 onto the
 // feasible set, i.e. the least-norm feasible table.
 func LeastSquares(attrs []int, total float64, cons []*marginal.Table, opt Options) *marginal.Table {
+	t, err := LeastSquaresContext(context.Background(), attrs, total, cons, opt)
+	if err != nil {
+		// Unreachable: context.Background is never canceled.
+		panic(fmt.Sprintf("reconstruct: %v", err))
+	}
+	return t
+}
+
+// LeastSquaresContext is LeastSquares with cooperative cancellation:
+// every few Dykstra cycles it polls ctx and returns ErrCanceled or
+// ErrDeadline instead of running to MaxIter.
+func LeastSquaresContext(ctx context.Context, attrs []int, total float64, cons []*marginal.Table, opt Options) (*marginal.Table, error) {
 	t := marginal.New(attrs)
 	cons = sanitize(MaximalConstraints(cons), total)
 	if len(cons) == 0 {
 		t.Fill(total / float64(t.Size()))
-		return t
+		return t, nil
 	}
 	type prepared struct {
 		target    *marginal.Table
@@ -241,6 +274,11 @@ func LeastSquares(attrs []int, total float64, cons []*marginal.Table, opt Option
 	proj := make([]float64, 0)
 	tol := opt.tol() * math.Max(total, 1)
 	for iter := 0; iter < opt.maxIter(); iter++ {
+		if iter%ctxCheckEvery == 0 {
+			if err := ContextErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		moved := 0.0
 		for s := 0; s < nSets; s++ {
 			// y = x + p_s
@@ -289,7 +327,7 @@ func LeastSquares(attrs []int, total float64, cons []*marginal.Table, opt Option
 		}
 	}
 	t.ClampNegatives()
-	return t
+	return t, nil
 }
 
 // LinProg reconstructs the marginal by the paper's linear program:
@@ -298,6 +336,13 @@ func LeastSquares(attrs []int, total float64, cons []*marginal.Table, opt Option
 // constraints (one per view) — this is the only method that does not
 // require a prior consistency step.
 func LinProg(attrs []int, cons []*marginal.Table) (*marginal.Table, error) {
+	return LinProgContext(context.Background(), attrs, cons)
+}
+
+// LinProgContext is LinProg with cooperative cancellation threaded into
+// the simplex iterations; it returns ErrCanceled or ErrDeadline when the
+// caller gives up, and other errors for genuine solver failures.
+func LinProgContext(ctx context.Context, attrs []int, cons []*marginal.Table) (*marginal.Table, error) {
 	t := marginal.New(attrs)
 	n := t.Size()
 	// Dedupe exactly identical constraints (consistent views produce
@@ -333,8 +378,13 @@ func LinProg(attrs []int, cons []*marginal.Table) (*marginal.Table, error) {
 			)
 		}
 	}
-	sol, err := lp.Solve(prob)
+	sol, err := lp.SolveContext(ctx, prob)
 	if err != nil {
+		// Re-type cancellation so callers see one error surface for all
+		// three estimators; other errors are numerical failures.
+		if cerr := ContextErr(ctx); cerr != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	copy(t.Cells, sol.X[:n])

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,23 +9,98 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"priview/internal/marginal"
 )
 
-// Client is a typed client for the priview-serve HTTP API.
+// DefaultClientTimeout bounds a single HTTP attempt for clients built
+// with a nil *http.Client. http.DefaultClient has no timeout at all, so
+// a wedged server would hang callers forever.
+const DefaultClientTimeout = 30 * time.Second
+
+// RetryPolicy controls the client's retry loop for idempotent requests.
+// The zero value selects the defaults noted per field; MaxAttempts = 1
+// disables retrying entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 100ms);
+	// subsequent retries double it.
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff (default 2s). A server-sent
+	// Retry-After hint overrides the computed backoff and is capped at
+	// 30s rather than MaxDelay — the server knows better.
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic for tests (0 selects a fixed
+	// default seed; runs are reproducible either way).
+	Seed uint64
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// retryAfterCap bounds how long a server-sent Retry-After hint can make
+// the client sleep; anything longer is treated as "give up this soon-ness
+// isn't happening" rather than slept through.
+const retryAfterCap = 30 * time.Second
+
+// Client is a typed client for the priview-serve HTTP API. All its
+// requests are GETs — idempotent by construction — so transient
+// connection errors and retryable statuses (429 and 5xx) are retried
+// with exponential backoff and jitter, honoring Retry-After.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	policy RetryPolicy
+	rng    *jitterRand
 }
 
 // NewClient returns a client for a server at base (e.g.
-// "http://localhost:8080"). httpClient may be nil for the default.
+// "http://localhost:8080"). httpClient may be nil for a default with a
+// DefaultClientTimeout per-attempt timeout. The default RetryPolicy
+// applies; use NewClientWithPolicy to tune or disable retries.
 func NewClient(base string, httpClient *http.Client) *Client {
+	return NewClientWithPolicy(base, httpClient, RetryPolicy{})
+}
+
+// NewClientWithPolicy is NewClient with an explicit retry policy.
+func NewClientWithPolicy(base string, httpClient *http.Client, policy RetryPolicy) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = &http.Client{Timeout: DefaultClientTimeout}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+	rng := &jitterRand{}
+	seed := policy.Seed
+	if seed == 0 {
+		seed = 0x5deece66d
+	}
+	rng.state.Store(seed)
+	return &Client{
+		base:   strings.TrimRight(base, "/"),
+		hc:     httpClient,
+		policy: policy,
+		rng:    rng,
+	}
 }
 
 // Info describes the served synopsis.
@@ -39,8 +115,14 @@ type Info struct {
 
 // Info fetches the release metadata.
 func (c *Client) Info() (*Info, error) {
+	return c.InfoContext(context.Background())
+}
+
+// InfoContext is Info honoring the caller's deadline across all retry
+// attempts.
+func (c *Client) InfoContext(ctx context.Context) (*Info, error) {
 	var info Info
-	if err := c.getJSON("/v1/info", &info); err != nil {
+	if err := c.getJSON(ctx, "/v1/info", &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -49,6 +131,13 @@ func (c *Client) Info() (*Info, error) {
 // Marginal fetches the reconstructed marginal over attrs using the
 // given estimator ("" selects CME).
 func (c *Client) Marginal(attrs []int, method string) (*marginal.Table, error) {
+	return c.MarginalContext(context.Background(), attrs, method)
+}
+
+// MarginalContext is Marginal honoring the caller's deadline across all
+// retry attempts; pass a context.WithTimeout to bound the total time
+// spent including backoff sleeps.
+func (c *Client) MarginalContext(ctx context.Context, attrs []int, method string) (*marginal.Table, error) {
 	parts := make([]string, len(attrs))
 	for i, a := range attrs {
 		parts[i] = strconv.Itoa(a)
@@ -59,7 +148,7 @@ func (c *Client) Marginal(attrs []int, method string) (*marginal.Table, error) {
 		q.Set("method", method)
 	}
 	var resp marginalResponse
-	if err := c.getJSON("/v1/marginal?"+q.Encode(), &resp); err != nil {
+	if err := c.getJSON(ctx, "/v1/marginal?"+q.Encode(), &resp); err != nil {
 		return nil, err
 	}
 	t := marginal.New(resp.Attrs)
@@ -70,21 +159,132 @@ func (c *Client) Marginal(attrs []int, method string) (*marginal.Table, error) {
 	return t, nil
 }
 
-func (c *Client) getJSON(path string, v interface{}) error {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return fmt.Errorf("server: %w", err)
+// getJSON GETs path and decodes the 200 body into v, retrying transient
+// failures per the policy. Only GETs flow through here: retrying is
+// safe precisely because the requests are idempotent — do not route
+// state-changing requests through this loop.
+func (c *Client) getJSON(ctx context.Context, path string, v interface{}) error {
+	var lastErr error
+	hint := time.Duration(0)
+	for attempt := 0; attempt < c.policy.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, hint)); err != nil {
+				return fmt.Errorf("server: giving up after %d attempts: %w (last error: %v)", attempt, err, lastErr)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("server: %w", ctx.Err())
+			}
+			// Connection-level failure of an idempotent GET: retry.
+			lastErr = fmt.Errorf("server: %w", err)
+			hint = 0
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		if cerr := resp.Body.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			lastErr = fmt.Errorf("server: reading response: %w", rerr)
+			hint = 0
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, v); err != nil {
+				return fmt.Errorf("server: decoding response: %w", err)
+			}
+			return nil
+		}
+		statusErr := fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		if !retryableStatus(resp.StatusCode) {
+			return statusErr
+		}
+		lastErr = statusErr
+		hint = parseRetryAfter(resp.Header.Get("Retry-After"))
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return fmt.Errorf("server: reading response: %w", err)
+	return fmt.Errorf("%w (after %d attempts)", lastErr, c.policy.maxAttempts())
+}
+
+// retryableStatus reports whether an idempotent request that drew this
+// status is worth repeating: explicit backpressure (429) and transient
+// server-side failures (5xx). Everything in the 4xx range besides 429
+// reflects the request itself and will fail identically on retry.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	return false
+}
+
+// parseRetryAfter reads a Retry-After header in the delay-seconds form
+// (the form this server emits); absent or unparseable values yield 0,
+// falling back to computed backoff. HTTP-date values are ignored — a
+// clock-skewed date is worse than local backoff.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
 	}
-	if err := json.Unmarshal(body, v); err != nil {
-		return fmt.Errorf("server: decoding response: %w", err)
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
 	}
-	return nil
+	return time.Duration(secs) * time.Second
+}
+
+// backoff computes the sleep before the attempt-th try (attempt ≥ 1):
+// a server-sent Retry-After hint verbatim, else exponential growth from
+// BaseDelay with half-interval jitter so synchronized clients desync.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	if hint > 0 {
+		if hint > retryAfterCap {
+			hint = retryAfterCap
+		}
+		return hint
+	}
+	d := c.policy.baseDelay() << uint(attempt-1)
+	if max := c.policy.maxDelay(); d > max || d <= 0 {
+		d = max
+	}
+	// Jitter in [d/2, d).
+	return d/2 + time.Duration(c.rng.next()%uint64(d/2+1))
+}
+
+// sleep waits for d or until ctx is done, whichever comes first.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jitterRand is a tiny deterministic splitmix64 PRNG for retry jitter.
+// Jitter is not privacy-relevant randomness, so it must not draw from
+// internal/noise (whose draws are attributable to a privacy budget); a
+// fixed-seed generator keeps client behavior reproducible in
+// fault-injection tests. The atomic counter makes it safe for
+// concurrent use by a shared Client.
+type jitterRand struct {
+	state atomic.Uint64
+}
+
+func (r *jitterRand) next() uint64 {
+	z := r.state.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

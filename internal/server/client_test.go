@@ -1,8 +1,10 @@
 package server
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"priview/internal/marginal"
 )
@@ -53,5 +55,92 @@ func TestClientAgainstDeadServer(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1", nil) // nothing listens on port 1
 	if _, err := c.Info(); err == nil {
 		t.Error("expected connection error")
+	}
+}
+
+func TestNilClientGetsDefaultTimeout(t *testing.T) {
+	c := NewClient("http://example.invalid", nil)
+	if c.hc.Timeout != DefaultClientTimeout {
+		t.Errorf("nil-client default timeout = %v, want %v (http.DefaultClient would hang forever)", c.hc.Timeout, DefaultClientTimeout)
+	}
+	custom := &http.Client{Timeout: time.Second}
+	if got := NewClient("http://example.invalid", custom); got.hc != custom {
+		t.Error("explicit client replaced")
+	}
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusOK:                  false,
+		http.StatusBadRequest:          false,
+		http.StatusNotFound:            false,
+		http.StatusTooManyRequests:     true,
+		http.StatusInternalServerError: true,
+		http.StatusBadGateway:          true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true,
+	} {
+		if got := retryableStatus(code); got != want {
+			t.Errorf("retryableStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for raw, want := range map[string]time.Duration{
+		"":                              0,
+		"2":                             2 * time.Second,
+		" 10 ":                          10 * time.Second,
+		"-1":                            0,
+		"soon":                          0,
+		"Wed, 21 Oct 2015 07:28:00 GMT": 0, // HTTP-date form ignored
+	} {
+		if got := parseRetryAfter(raw); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", raw, got, want)
+		}
+	}
+}
+
+func TestBackoffGrowsAndHonorsHint(t *testing.T) {
+	c := NewClientWithPolicy("http://example.invalid", nil, RetryPolicy{
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  time.Second,
+		Seed:      3,
+	})
+	// No hint: jittered exponential within [base/2^1 .. max).
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := c.backoff(attempt, 0)
+		full := 100 * time.Millisecond << uint(attempt-1)
+		if full > time.Second {
+			full = time.Second
+		}
+		if d < full/2 || d >= full+time.Millisecond {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v)", attempt, d, full/2, full)
+		}
+	}
+	// A server hint overrides the computed backoff...
+	if d := c.backoff(1, 3*time.Second); d != 3*time.Second {
+		t.Errorf("hinted backoff = %v, want 3s", d)
+	}
+	// ...but absurd hints are capped.
+	if d := c.backoff(1, time.Hour); d != retryAfterCap {
+		t.Errorf("capped hinted backoff = %v, want %v", d, retryAfterCap)
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		c := NewClientWithPolicy("http://example.invalid", nil, RetryPolicy{Seed: seed})
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = c.backoff(2, 0)
+		}
+		return out
+	}
+	a, b := seq(5), seq(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
 	}
 }

@@ -3,39 +3,110 @@
 // marginal queries from it costs no additional privacy budget (the
 // post-processing property) — the server is a pure, stateless query
 // engine suitable for public deployment.
+//
+// The serving path has an explicit failure model: per-request deadlines
+// (504 on expiry), semaphore load shedding (429 + Retry-After when
+// saturated), panic recovery (500 with a logged stack), and a draining
+// state that flips /healthz to 503 so load balancers stop routing to an
+// instance that is shutting down.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"priview/internal/core"
+	"priview/internal/covering"
 	"priview/internal/marginal"
+	"priview/internal/reconstruct"
 )
+
+// Querier is the synopsis surface the server serves. *core.Synopsis
+// implements it; tests substitute slow or faulty implementations to
+// exercise the failure model without a slow real reconstruction.
+type Querier interface {
+	// QueryMethodContext reconstructs the marginal over attrs with the
+	// given estimator, honoring ctx cancellation (see core.Synopsis).
+	QueryMethodContext(ctx context.Context, attrs []int, method core.ReconstructMethod) (*marginal.Table, error)
+	Epsilon() float64
+	Total() float64
+	Views() []*marginal.Table
+	Design() *covering.Design
+}
+
+// statusClientClosedRequest is the nginx-convention status for requests
+// abandoned by the client; the response is never seen, the code exists
+// for access logs and metrics.
+const statusClientClosedRequest = 499
+
+// Options configures the failure model around the query path. The zero
+// value disables deadlines and shedding, matching the bare handler.
+type Options struct {
+	// MaxK bounds the marginal size a single request may ask for (≤ 0
+	// selects the default of 12).
+	MaxK int
+	// QueryTimeout is the per-request reconstruction deadline; requests
+	// exceeding it fail with 504. ≤ 0 disables the deadline.
+	QueryTimeout time.Duration
+	// MaxInflight caps concurrently served marginal queries; excess
+	// requests are shed immediately with 429 + Retry-After. ≤ 0
+	// disables shedding.
+	MaxInflight int
+	// RetryAfter is the hint written on shed responses (default 1s,
+	// rounded up to whole seconds as the header requires).
+	RetryAfter time.Duration
+	// Logger receives panic stacks and response-encoding failures
+	// (default log.Default()).
+	Logger *log.Logger
+}
 
 // Server wraps a synopsis with HTTP handlers.
 type Server struct {
-	syn *core.Synopsis
-	mux *http.ServeMux
-	// maxK bounds the query size so a single request cannot ask for a
-	// 2^30-cell reconstruction.
-	maxK int
+	syn      Querier
+	mux      *http.ServeMux
+	opt      Options
+	inflight chan struct{} // nil when shedding is disabled
+	draining atomic.Bool
 }
 
-// New returns a server for the synopsis. maxK bounds the marginal size
-// a single request may ask for (≤ 0 selects the default of 12).
-func New(syn *core.Synopsis, maxK int) *Server {
-	if maxK <= 0 {
-		maxK = 12
+// New returns a server for the synopsis with default options. maxK
+// bounds the marginal size a single request may ask for (≤ 0 selects
+// the default of 12).
+func New(syn Querier, maxK int) *Server {
+	return NewWithOptions(syn, Options{MaxK: maxK})
+}
+
+// NewWithOptions returns a server with an explicit failure model.
+func NewWithOptions(syn Querier, opt Options) *Server {
+	if opt.MaxK <= 0 {
+		opt.MaxK = 12
 	}
-	s := &Server{syn: syn, mux: http.NewServeMux(), maxK: maxK}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = time.Second
+	}
+	if opt.Logger == nil {
+		opt.Logger = log.Default()
+	}
+	s := &Server{syn: syn, mux: http.NewServeMux(), opt: opt}
+	if opt.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opt.MaxInflight)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/info", s.handleInfo)
-	s.mux.HandleFunc("/v1/marginal", s.handleMarginal)
+	s.mux.Handle("/v1/info", s.recovered(http.HandlerFunc(s.handleInfo)))
+	// Shed before arming the deadline: a request rejected for capacity
+	// should not consume any of its reconstruction budget.
+	s.mux.Handle("/v1/marginal",
+		s.recovered(s.shedding(s.deadlined(http.HandlerFunc(s.handleMarginal)))))
 	return s
 }
 
@@ -44,8 +115,69 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// SetDraining flips the draining state: while draining, /healthz
+// answers 503 so load balancers take the instance out of rotation
+// before Shutdown closes the listener. Safe for concurrent use.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is refusing its health probe.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// recovered converts handler panics into 500s with a logged stack.
+// Panics are internal failures; without this they would tear down the
+// whole connection (net/http's default) or, worse, be mislabeled as
+// client errors.
+func (s *Server) recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.opt.Logger.Printf("server: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// shedding admits at most MaxInflight concurrent requests and rejects
+// the rest immediately with 429 + Retry-After — under overload, fast
+// rejection keeps latency bounded for the requests that are admitted.
+func (s *Server) shedding(h http.Handler) http.Handler {
+	if s.inflight == nil {
+		return h
+	}
+	retryAfter := strconv.Itoa(int((s.opt.RetryAfter + time.Second - 1) / time.Second))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", retryAfter)
+			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		}
+	})
+}
+
+// deadlined arms the per-request reconstruction deadline on the request
+// context; the query path maps its expiry to 504.
+func (s *Server) deadlined(h http.Handler) http.Handler {
+	if s.opt.QueryTimeout <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.QueryTimeout)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
 	//lint:ignore errdiscard health-probe response; a client that hung up cannot be told about it
 	fmt.Fprintln(w, "ok")
 }
@@ -69,13 +201,13 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Epsilon: s.syn.Epsilon(),
 		Total:   s.syn.Total(),
 		Views:   len(s.syn.Views()),
-		MaxK:    s.maxK,
+		MaxK:    s.opt.MaxK,
 	}
 	if dg := s.syn.Design(); dg != nil {
 		resp.D = dg.D
 		resp.Design = dg.Name()
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // marginalResponse is a reconstructed marginal table.
@@ -96,8 +228,8 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(attrs) > s.maxK {
-		http.Error(w, fmt.Sprintf("at most %d attributes per query", s.maxK), http.StatusBadRequest)
+	if len(attrs) > s.opt.MaxK {
+		http.Error(w, fmt.Sprintf("at most %d attributes per query", s.opt.MaxK), http.StatusBadRequest)
 		return
 	}
 	if dg := s.syn.Design(); dg != nil {
@@ -119,25 +251,26 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown method (want CME, CLN or CLP)", http.StatusBadRequest)
 		return
 	}
-	var table *marginal.Table
-	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				table = nil
-			}
-		}()
-		table = s.syn.QueryMethod(attrs, method)
-	}()
-	if table == nil {
-		http.Error(w, "query failed", http.StatusBadRequest)
-		return
+	// Input is validated; from here every failure is the server's, not
+	// the client's. Panics propagate to the recovery middleware (500).
+	table, err := s.syn.QueryMethodContext(r.Context(), attrs, method)
+	switch {
+	case err == nil && table != nil:
+		s.writeJSON(w, marginalResponse{
+			Attrs:  table.Attrs,
+			Method: method.String(),
+			Total:  table.Total(),
+			Cells:  table.Cells,
+		})
+	case errors.Is(err, reconstruct.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, reconstruct.ErrCanceled) || errors.Is(err, context.Canceled):
+		// The client went away; the status is for logs only.
+		w.WriteHeader(statusClientClosedRequest)
+	default:
+		s.opt.Logger.Printf("server: query attrs=%v method=%s failed: %v", attrs, method, err)
+		http.Error(w, "internal error", http.StatusInternalServerError)
 	}
-	writeJSON(w, marginalResponse{
-		Attrs:  table.Attrs,
-		Method: method.String(),
-		Total:  table.Total(),
-		Cells:  table.Cells,
-	})
 }
 
 func parseAttrs(raw string) ([]int, error) {
@@ -162,11 +295,12 @@ func parseAttrs(raw string) ([]int, error) {
 	return attrs, nil
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// Headers already sent; nothing sensible to do but note it.
-		http.Error(w, "encoding failed", http.StatusInternalServerError)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The 200 header and part of the body may already be on the
+		// wire, so a late http.Error would interleave an error string
+		// into a JSON stream; logging is the only safe action.
+		s.opt.Logger.Printf("server: encoding response: %v", err)
 	}
 }
