@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos check
+.PHONY: all build vet lint test race chaos fuzz-short audit check
 
 all: build
 
@@ -34,4 +34,22 @@ race:
 chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/server/ ./cmd/priview-serve/
 
-check: build vet lint race chaos
+# Short coverage-guided fuzz runs over the untrusted-input decoders:
+# snapshot container parsing and the audit-over-load pipeline. Ten
+# seconds per target keeps the gate fast; longer campaigns can raise
+# FUZZTIME. The checked-in seed corpus also runs in plain `make test`.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotLoad -fuzztime=$(FUZZTIME) ./internal/snapshot/
+	$(GO) test -run='^$$' -fuzz=FuzzAuditReport -fuzztime=$(FUZZTIME) ./internal/audit/
+
+# Build a small synopsis and run the release auditor over it — an
+# end-to-end smoke of the publish gate (`priview build` refuses to
+# publish a synopsis the auditor rejects; see DESIGN.md §8).
+audit:
+	@tmp=$$(mktemp -d) && trap 'rm -rf $$tmp' EXIT && \
+	$(GO) run ./cmd/priview generate -dataset msnbc -n 2000 -seed 1 -out $$tmp/data.txt && \
+	$(GO) run ./cmd/priview build -in $$tmp/data.txt -eps 1.0 -snapshot -out $$tmp/syn.json && \
+	$(GO) run ./cmd/priview audit $$tmp/syn.json
+
+check: build vet lint race chaos fuzz-short audit

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"priview/internal/experiments"
+)
+
+// checkpoint persists completed experiment cells so a crashed or killed
+// bench run resumes where it stopped instead of recomputing hours of
+// work. The format is JSONL — one self-contained record per completed
+// experiment id, appended and fsynced as each experiment finishes — so
+// a crash mid-write loses at most the trailing partial line, which the
+// loader tolerates by skipping it.
+type checkpoint struct {
+	path string
+	f    *os.File
+	done map[string][]experiments.Row
+}
+
+// checkpointConfig fingerprints the settings a record was computed
+// under; a record only satisfies a run with the identical
+// configuration, so resuming with different -queries/-runs/-n/-seed
+// recomputes rather than serving mismatched rows.
+type checkpointConfig struct {
+	Queries int   `json:"queries"`
+	Runs    int   `json:"runs"`
+	N       int   `json:"n"`
+	Seed    int64 `json:"seed"`
+}
+
+type checkpointRecord struct {
+	ID     string            `json:"id"`
+	Config checkpointConfig  `json:"config"`
+	Rows   []experiments.Row `json:"rows"`
+}
+
+func fingerprint(cfg experiments.Config) checkpointConfig {
+	return checkpointConfig{Queries: cfg.Queries, Runs: cfg.Runs, N: cfg.N, Seed: cfg.Seed}
+}
+
+// openCheckpoint loads existing completed records matching cfg and
+// opens the file for appending new ones. A missing file is an empty
+// checkpoint; a torn trailing line is skipped.
+func openCheckpoint(path string, cfg experiments.Config) (*checkpoint, error) {
+	c := &checkpoint{path: path, done: map[string][]experiments.Row{}}
+	want := fingerprint(cfg)
+	if raw, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(raw)
+		sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec checkpointRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				// Torn or corrupt line (crash mid-append); everything
+				// before it is intact, so skip and keep going.
+				continue
+			}
+			if rec.Config == want && rec.ID != "" {
+				c.done[rec.ID] = rec.Rows
+			}
+		}
+		serr := sc.Err()
+		if cerr := raw.Close(); serr == nil {
+			serr = cerr
+		}
+		if serr != nil {
+			return nil, fmt.Errorf("reading checkpoint %s: %w", path, serr)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c.f = f
+	return c, nil
+}
+
+// lookup returns the stored rows for a completed experiment id.
+func (c *checkpoint) lookup(id string) ([]experiments.Row, bool) {
+	rows, ok := c.done[id]
+	return rows, ok
+}
+
+// record appends and fsyncs a completed experiment. After it returns,
+// a crash cannot lose this cell.
+func (c *checkpoint) record(id string, rows []experiments.Row, cfg experiments.Config) error {
+	line, err := json.Marshal(checkpointRecord{ID: id, Config: fingerprint(cfg), Rows: rows})
+	if err != nil {
+		return err
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	c.done[id] = rows
+	return nil
+}
+
+func (c *checkpoint) Close() error { return c.f.Close() }

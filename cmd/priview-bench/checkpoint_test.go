@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchFig1 runs the smallest fig1 configuration with a checkpoint and
+// CSV output, returning stdout and the CSV bytes.
+func benchFig1(t *testing.T, ckpt, csv string, seed string) (string, []byte) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	args := []string{"-exp", "fig1", "-queries", "2", "-runs", "1",
+		"-checkpoint", ckpt, "-csv", csv, "-seed", seed}
+	if code := benchMain(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, stderr.String())
+	}
+	raw, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stdout.String(), raw
+}
+
+// TestCheckpointResume proves crash-resume: a second run with the same
+// checkpoint and configuration recomputes nothing and reproduces the
+// identical rows.
+func TestCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: runs a reduced fig1 experiment")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "bench.ckpt")
+
+	out1, csv1 := benchFig1(t, ckpt, filepath.Join(dir, "a.csv"), "1")
+	if strings.Contains(out1, "resumed from checkpoint") {
+		t.Fatalf("first run claims to resume:\n%s", out1)
+	}
+	out2, csv2 := benchFig1(t, ckpt, filepath.Join(dir, "b.csv"), "1")
+	if !strings.Contains(out2, "resumed from checkpoint") {
+		t.Fatalf("second run did not resume:\n%s", out2)
+	}
+	if !bytes.Equal(csv1, csv2) {
+		t.Fatal("resumed rows differ from the originally computed rows")
+	}
+}
+
+// TestCheckpointConfigMismatch proves a checkpoint recorded under one
+// configuration never satisfies a different one.
+func TestCheckpointConfigMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: runs two reduced fig1 experiments")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "bench.ckpt")
+	benchFig1(t, ckpt, filepath.Join(dir, "a.csv"), "1")
+	out, _ := benchFig1(t, ckpt, filepath.Join(dir, "b.csv"), "2")
+	if strings.Contains(out, "resumed from checkpoint") {
+		t.Fatalf("run with a different seed resumed stale rows:\n%s", out)
+	}
+}
+
+// TestCheckpointToleratesTornTrailingLine simulates a crash mid-append:
+// the intact records before the torn line still resume.
+func TestCheckpointToleratesTornTrailingLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: runs a reduced fig1 experiment")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "bench.ckpt")
+	benchFig1(t, ckpt, filepath.Join(dir, "a.csv"), "1")
+
+	f, err := os.OpenFile(ckpt, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"fig2","config":{"torn...`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, _ := benchFig1(t, ckpt, filepath.Join(dir, "b.csv"), "1")
+	if !strings.Contains(out, "resumed from checkpoint") {
+		t.Fatalf("torn trailing line broke resume:\n%s", out)
+	}
+}
+
+// TestCheckpointUnreadableFileFails proves a checkpoint path that is a
+// directory is a hard error rather than silent recomputation.
+func TestCheckpointUnreadableFileFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := benchMain([]string{"-exp", "fig1", "-checkpoint", t.TempDir()}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("benchMain accepted a directory as checkpoint (stderr: %s)", stderr.String())
+	}
+}

@@ -43,6 +43,7 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	n := fs.Int("n", 0, "override dataset size (0 = config default)")
 	seed := fs.Int64("seed", 1, "root seed")
 	csvPath := fs.String("csv", "", "also write figure rows as CSV to this file")
+	ckptPath := fs.String("checkpoint", "", "JSONL checkpoint file: completed experiments are recorded there and resumed after a crash")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,14 +73,47 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.Seed = *seed
 
+	var ckpt *checkpoint
+	if *ckptPath != "" {
+		var err error
+		ckpt, err = openCheckpoint(*ckptPath, cfg)
+		if err != nil {
+			emitf(stderr, "priview-bench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := ckpt.Close(); err != nil {
+				emitf(stderr, "priview-bench: closing checkpoint: %v\n", err)
+			}
+		}()
+		if n := len(ckpt.done); n > 0 {
+			emitf(stdout, "checkpoint %s: %d experiment(s) already complete\n", *ckptPath, n)
+		}
+	}
+
 	want := func(id string) bool { return *exp == "all" || *exp == id }
 	var allRows []experiments.Row
 	run := func(id, title string, f func(experiments.Config) []experiments.Row) {
 		if !want(id) {
 			return
 		}
+		if ckpt != nil {
+			if rows, ok := ckpt.lookup(id); ok {
+				emitf(stdout, "\n== %s: %s (resumed from checkpoint) ==\n", id, title)
+				emitf(stdout, "%s", experiments.FormatRows(rows))
+				allRows = append(allRows, rows...)
+				return
+			}
+		}
 		start := time.Now()
 		rows := f(cfg)
+		if ckpt != nil {
+			// Record before reporting: once the line is fsynced, a crash
+			// cannot cost this experiment's work.
+			if err := ckpt.record(id, rows, cfg); err != nil {
+				emitf(stderr, "priview-bench: checkpoint write failed (continuing): %v\n", err)
+			}
+		}
 		emitf(stdout, "\n== %s: %s (%v) ==\n", id, title, time.Since(start).Round(time.Millisecond))
 		emitf(stdout, "%s", experiments.FormatRows(rows))
 		allRows = append(allRows, rows...)

@@ -5,6 +5,7 @@
 // with cmd/priview, serve forever.
 //
 //	priview-serve -synopsis synopsis.json -addr :8080
+//	priview-serve -store /var/lib/priview/snapshots -addr :8080
 //
 // Endpoints:
 //
@@ -12,6 +13,13 @@
 //	GET /v1/info                          release metadata
 //	GET /v1/marginal?attrs=1,5,9          reconstruct a marginal
 //	GET /v1/marginal?attrs=1,5&method=CLN alternative estimator
+//
+// Durability: the synopsis is checksum-verified and audited against the
+// release invariants before it serves a single query. In -store mode
+// the newest verifiable snapshot is served; corrupt snapshots are
+// quarantined to *.corrupt and the store falls back to an older good
+// one. SIGHUP hot-reloads the synopsis without dropping queries —
+// if the reload fails, the last good synopsis keeps serving.
 //
 // Failure model: -query-timeout bounds each reconstruction (504 on
 // expiry), -max-inflight sheds excess concurrent queries (429 +
@@ -31,57 +39,115 @@ import (
 	"syscall"
 	"time"
 
+	"priview/internal/audit"
 	"priview/internal/core"
 	"priview/internal/server"
+	"priview/internal/snapshot"
 )
 
 func main() {
-	synPath := flag.String("synopsis", "", "synopsis file from `priview build` (required)")
+	synPath := flag.String("synopsis", "", "synopsis file from `priview build` (v1 or v2 snapshot)")
+	storeDir := flag.String("store", "", "snapshot store directory (serves the newest verifiable snapshot)")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxK := flag.Int("max-k", 12, "largest marginal size a request may ask for")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request reconstruction deadline (0 disables; expiry returns 504)")
 	maxInflight := flag.Int("max-inflight", 64, "concurrent marginal queries before shedding with 429 (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries before closing connections")
 	flag.Parse()
-	if *synPath == "" {
-		fmt.Fprintln(os.Stderr, "priview-serve: -synopsis is required")
+	if (*synPath == "") == (*storeDir == "") {
+		fmt.Fprintln(os.Stderr, "priview-serve: exactly one of -synopsis or -store is required")
 		os.Exit(2)
 	}
-	syn, err := loadSynopsis(*synPath)
+	src := &source{path: *synPath, dir: *storeDir}
+	syn, from, err := src.load()
 	if err != nil {
 		log.Fatalf("priview-serve: %v", err)
 	}
-	handler, srv := newServer(syn, *addr, server.Options{
+	swap := server.NewSwappable(syn)
+	handler, srv := newServer(swap, *addr, server.Options{
 		MaxK:         *maxK,
 		QueryTimeout: *queryTimeout,
 		MaxInflight:  *maxInflight,
 	})
 	if dg := syn.Design(); dg != nil {
-		log.Printf("serving synopsis %s (ε=%g) on %s", dg.Name(), syn.Epsilon(), *addr)
+		log.Printf("serving synopsis %s (ε=%g, from %s) on %s", dg.Name(), syn.Epsilon(), from, *addr)
 	} else {
-		log.Printf("serving synopsis (ε=%g) on %s", syn.Epsilon(), *addr)
+		log.Printf("serving synopsis (ε=%g, from %s) on %s", syn.Epsilon(), from, *addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
 
-	select {
-	case err := <-done:
-		// Listener failed before any signal (e.g. port in use).
-		log.Fatalf("priview-serve: %v", err)
-	case <-ctx.Done():
-		stop() // a second signal kills immediately via the default handler
-		log.Printf("signal received, draining for up to %v", *drainTimeout)
-		if err := shutdown(srv, handler, *drainTimeout); err != nil {
-			log.Printf("priview-serve: drain incomplete: %v", err)
-		}
-		if err := <-done; err != http.ErrServerClosed {
+	for {
+		select {
+		case err := <-done:
+			// Listener failed before any signal (e.g. port in use).
 			log.Fatalf("priview-serve: %v", err)
+		case <-hup:
+			if err := reload(src, swap); err != nil {
+				log.Printf("priview-serve: reload failed, keeping last good synopsis: %v", err)
+			}
+		case <-ctx.Done():
+			stop() // a second signal kills immediately via the default handler
+			log.Printf("signal received, draining for up to %v", *drainTimeout)
+			if err := shutdown(srv, handler, *drainTimeout); err != nil {
+				log.Printf("priview-serve: drain incomplete: %v", err)
+			}
+			if err := <-done; err != http.ErrServerClosed {
+				log.Fatalf("priview-serve: %v", err)
+			}
+			log.Printf("drained, exiting")
+			return
 		}
-		log.Printf("drained, exiting")
 	}
+}
+
+// source is where the served synopsis comes from: a single file or a
+// snapshot store directory. Every load is checksum-verified (v2) and
+// audited against the release invariants before it is served.
+type source struct {
+	path string // single-file mode
+	dir  string // snapshot-store mode
+}
+
+// load returns a verified synopsis and a description of where it came
+// from.
+func (s *source) load() (*core.Synopsis, string, error) {
+	if s.dir != "" {
+		st, err := snapshot.NewStore(s.dir, 0)
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := st.Load()
+		if err != nil {
+			return nil, "", err
+		}
+		for i, q := range res.Quarantined {
+			log.Printf("priview-serve: quarantined corrupt snapshot %s: %v", q, res.Errs[i])
+		}
+		return res.Synopsis, res.Path, nil
+	}
+	syn, err := loadSynopsis(s.path)
+	if err != nil {
+		return nil, "", err
+	}
+	return syn, s.path, nil
+}
+
+// reload hot-swaps the served synopsis from the source. On failure the
+// previous synopsis keeps serving untouched.
+func reload(src *source, swap *server.Swappable) error {
+	syn, from, err := src.load()
+	if err != nil {
+		return err
+	}
+	swap.Swap(syn)
+	log.Printf("priview-serve: reloaded synopsis from %s (ε=%g, total=%g)", from, syn.Epsilon(), syn.Total())
+	return nil
 }
 
 // shutdown drains srv gracefully: the handler's health probe flips to
@@ -94,18 +160,24 @@ func shutdown(srv *http.Server, handler *server.Server, drain time.Duration) err
 	return srv.Shutdown(ctx)
 }
 
-// loadSynopsis reads a synopsis published by `priview build`.
+// loadSynopsis reads a synopsis published by `priview build` (bare v1
+// or checksummed v2), then audits it against the release invariants —
+// a synopsis that fails is refused, not served.
 func loadSynopsis(path string) (*core.Synopsis, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	syn, err := core.Load(f)
+	syn, err := snapshot.Read(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		return nil, err
+	}
+	report := audit.Check(syn, audit.Options{})
+	if err := report.Err(); err != nil {
+		return nil, fmt.Errorf("%s failed its release audit: %w", path, err)
 	}
 	return syn, nil
 }

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"priview"
+	"priview/internal/core"
+	"priview/internal/server"
+	"priview/internal/snapshot"
+)
+
+// buildSyn returns a small synopsis with a seed-dependent content.
+func buildSyn(t *testing.T, seed int64) *core.Synopsis {
+	t.Helper()
+	const d = 6
+	records := make([]uint64, 200)
+	for i := range records {
+		records[i] = uint64(i*2654435761) & ((1 << d) - 1)
+	}
+	data := priview.NewDataset(d, records)
+	plan := priview.PlanDesign(d, data.Len(), 1.0, 1)
+	return priview.Build(data, priview.Config{Epsilon: 1.0, Design: plan.Design}, seed)
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestStoreModeServesNewestSnapshot exercises -store end to end:
+// loading picks the newest snapshot, and the audit gate runs.
+func TestStoreModeServesNewestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.NewStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(buildSyn(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := buildSyn(t, 2)
+	if _, err := st.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	src := &source{dir: dir}
+	syn, from, err := src.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(from) != "snapshot-000002.json" {
+		t.Fatalf("loaded %s, want the newest snapshot", from)
+	}
+	if math.Abs(syn.Total()-want.Total()) > 1e-9 {
+		t.Fatalf("total %v, want %v", syn.Total(), want.Total())
+	}
+}
+
+// TestHotReloadKeepsServingThroughCorruption is the serving half of the
+// durability contract: a SIGHUP-triggered reload that encounters a
+// corrupt newest snapshot falls back to the good one; a reload with the
+// whole store corrupted fails without touching the served synopsis. At
+// no point does any query fail.
+func TestHotReloadKeepsServingThroughCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.NewStore(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := buildSyn(t, 3)
+	if _, err := st.Save(first); err != nil {
+		t.Fatal(err)
+	}
+	src := &source{dir: dir}
+	syn, _, err := src.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap := server.NewSwappable(syn)
+	handler := server.NewWithOptions(swap, server.Options{MaxK: 6})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	failed := 0
+	query := func() (total float64) {
+		t.Helper()
+		var body struct {
+			Total float64   `json:"total"`
+			Cells []float64 `json:"cells"`
+		}
+		if code := getJSON(t, srv.URL+"/v1/marginal?attrs=0,1", &body); code != http.StatusOK {
+			failed++
+			t.Errorf("query failed with status %d", code)
+		}
+		return body.Total
+	}
+	query()
+
+	// Publish a second synopsis and hot-reload: new total served.
+	second := buildSyn(t, 4)
+	secondPath, err := st.Save(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reload(src, swap); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if got := query(); math.Abs(got-second.Total()) > 1e-6 {
+		t.Fatalf("after reload total = %v, want %v", got, second.Total())
+	}
+
+	// Corrupt the newest snapshot; reload must fall back to the first.
+	if err := os.WriteFile(secondPath, []byte(`{"format":"priview-synopsis-v2","checksum":"sha256:00","payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := reload(src, swap); err != nil {
+		t.Fatalf("reload with fallback available: %v", err)
+	}
+	if got := query(); math.Abs(got-first.Total()) > 1e-6 {
+		t.Fatalf("after corrupt reload total = %v, want fallback %v", got, first.Total())
+	}
+	if _, err := os.Stat(secondPath + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+
+	// Corrupt everything; reload fails but the last good synopsis keeps
+	// serving.
+	names, err := st.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reload(src, swap); err == nil {
+		t.Fatal("reload succeeded with a fully corrupt store")
+	}
+	if got := query(); math.Abs(got-first.Total()) > 1e-6 {
+		t.Fatalf("after failed reload total = %v, want unchanged %v", got, first.Total())
+	}
+	if failed != 0 {
+		t.Fatalf("%d queries failed across the corruption sequence, want 0", failed)
+	}
+}
+
+// TestLoadSynopsisRefusesAuditFailure proves the startup audit gate: a
+// structurally valid file whose views are mutually inconsistent is
+// refused.
+func TestLoadSynopsisRefusesAuditFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	// Views disagree on attribute 1's marginal: 30/10 vs 20/20.
+	doc := `{"format":"priview-synopsis-v1","epsilon":1,"total":40,"views":[` +
+		`{"attrs":[0,1],"cells":[15,15,5,5]},{"attrs":[1,2],"cells":[10,10,10,10]}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSynopsis(path); err == nil {
+		t.Fatal("loadSynopsis served an audit-failing synopsis")
+	}
+}
+
+// TestLoadSynopsisAcceptsV2 proves the file mode reads the checksummed
+// container.
+func TestLoadSynopsisAcceptsV2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "syn.json")
+	if err := snapshot.WriteFile(snapshot.OS{}, path, buildSyn(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSynopsis(path); err != nil {
+		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+}

@@ -16,9 +16,11 @@
 //	plan      print the covering design §4.5 planning would choose
 //	build     construct and save a private synopsis
 //	query     reconstruct one marginal from a saved synopsis
+//	audit     check a saved synopsis against the release invariants
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,11 +28,13 @@ import (
 	"strconv"
 	"strings"
 
+	"priview/internal/audit"
 	"priview/internal/core"
 	"priview/internal/covering"
 	"priview/internal/dataset"
 	"priview/internal/dataset/synth"
 	"priview/internal/noise"
+	"priview/internal/snapshot"
 )
 
 func main() {
@@ -52,6 +56,8 @@ func main() {
 		err = cmdBuild(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "audit":
+		err = cmdAudit(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,13 +72,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: priview <generate|import|plan|build|query> [flags]
+	fmt.Fprintln(os.Stderr, `usage: priview <generate|import|plan|build|query|audit> [flags]
   generate -dataset kosarak|aol|msnbc|mchain|uniform -n N [-order i] [-seed s] -out FILE
   import   -csv FILE [-header] [-max-attrs M] [-min-count C] -out FILE
   plan     -in FILE -eps E [-seed s]
   design   -d D -ell L -t T [-seed s] -out FILE       (export; La Jolla text format)
-  build    -in FILE -eps E [-t 0|2|3|4] [-ell L] [-design FILE] [-seed s] -out FILE
-  query    -synopsis FILE -attrs a,b,c [-method CME|CLN|CLP]`)
+  build    -in FILE -eps E [-t 0|2|3|4] [-ell L] [-design FILE] [-snapshot] [-seed s] -out FILE
+  query    -synopsis FILE -attrs a,b,c [-method CME|CLN|CLP]
+  audit    [-json] FILE                               (exit 1 if invariants are violated)`)
 }
 
 func cmdGenerate(args []string) error {
@@ -233,6 +240,7 @@ func cmdBuild(args []string) error {
 	t := fs.Int("t", 0, "coverage t (0 = plan automatically)")
 	ell := fs.Int("ell", core.DefaultEll, "view size ℓ")
 	designPath := fs.String("design", "", "load the view set from a block-per-line design file (e.g. from the La Jolla repository); -t must state its coverage")
+	asSnapshot := fs.Bool("snapshot", false, "write a checksummed v2 snapshot (atomic write) instead of the bare v1 format")
 	seed := fs.Int64("seed", 1, "noise/design seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -272,15 +280,65 @@ func cmdBuild(args []string) error {
 		design = covering.Best(data.Dim(), l, *t, *seed, 4)
 	}
 	syn := core.BuildSynopsis(data, core.Config{Epsilon: *eps, Design: design}, noise.NewStream(*seed))
-	f, err := os.Create(*out)
+	// Audit the fresh release before publishing: a post-processing bug
+	// must fail the build, not surface later from a serving replica.
+	report := audit.Check(syn, audit.Options{})
+	if err := report.Err(); err != nil {
+		return fmt.Errorf("build: freshly built synopsis failed its release audit: %w", err)
+	}
+	if *asSnapshot {
+		if err := snapshot.WriteFile(snapshot.OS{}, *out, syn); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := syn.Save(f); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("built synopsis with %s under ε=%g; wrote %s\n", design.Name(), *eps, *out)
+	return nil
+}
+
+// cmdAudit checks a saved synopsis (bare v1 or checksummed v2) against
+// the release invariants, printing the report and failing (exit 1) on
+// any Error-severity finding.
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("audit: usage: priview audit [-json] FILE")
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := syn.Save(f); err != nil {
-		return err
+	syn, err := snapshot.Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	fmt.Printf("built synopsis with %s under ε=%g; wrote %s\n", design.Name(), *eps, *out)
+	if err != nil {
+		return fmt.Errorf("audit: %s: %w", path, err)
+	}
+	report := audit.Check(syn, audit.Options{})
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(report); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(report.String())
+	}
+	if err := report.Err(); err != nil {
+		return fmt.Errorf("audit: %s: %w", path, err)
+	}
 	return nil
 }
 
@@ -299,7 +357,7 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	syn, err := core.Load(f)
+	syn, err := snapshot.Read(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

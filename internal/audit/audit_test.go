@@ -1,0 +1,197 @@
+package audit_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"priview/internal/audit"
+	"priview/internal/core"
+	"priview/internal/covering"
+	"priview/internal/dataset/synth"
+	"priview/internal/marginal"
+	"priview/internal/noise"
+)
+
+type fakeSyn struct {
+	views  []*marginal.Table
+	total  float64
+	eps    float64
+	design *covering.Design
+}
+
+func (f *fakeSyn) Views() []*marginal.Table { return f.views }
+func (f *fakeSyn) Total() float64           { return f.total }
+func (f *fakeSyn) Epsilon() float64         { return f.eps }
+func (f *fakeSyn) Design() *covering.Design { return f.design }
+
+func table(attrs []int, cells ...float64) *marginal.Table {
+	t := marginal.New(attrs)
+	copy(t.Cells, cells)
+	return t
+}
+
+func buildReal(t *testing.T, seed int64, eps float64) *core.Synopsis {
+	t.Helper()
+	data := synth.MSNBC(3000, seed)
+	dg := covering.Groups(9, 4)
+	return core.BuildSynopsis(data, core.Config{Epsilon: eps, Design: dg}, noise.NewStream(seed))
+}
+
+func TestCleanSynopsisPasses(t *testing.T) {
+	for _, eps := range []float64{0.1, 1, 10} {
+		s := buildReal(t, 5, eps)
+		r := audit.Check(s, audit.Options{})
+		if !r.OK() {
+			t.Errorf("eps=%v: clean synopsis failed audit:\n%s", eps, r)
+		}
+		if err := r.Err(); err != nil {
+			t.Errorf("eps=%v: Err() = %v", eps, err)
+		}
+		if r.Pairs == 0 {
+			t.Errorf("eps=%v: no view pairs checked", eps)
+		}
+	}
+}
+
+func TestPoisonedCellFails(t *testing.T) {
+	s := buildReal(t, 6, 1)
+	s.Views()[0].Cells[3] = math.NaN()
+	r := audit.Check(s, audit.Options{})
+	if r.OK() {
+		t.Fatalf("poisoned synopsis passed audit:\n%s", r)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("Err() = %v", err)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Invariant == "finiteness" && f.Severity == audit.Error && f.View == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no finiteness finding for view 0:\n%s", r)
+	}
+}
+
+func TestInconsistentViewsFail(t *testing.T) {
+	// Two views sharing attribute 1 but disagreeing on its marginal:
+	// view A says attr1 splits 30/10, view B says 20/20.
+	s := &fakeSyn{
+		views: []*marginal.Table{
+			table([]int{0, 1}, 15, 15, 5, 5),
+			table([]int{1, 2}, 10, 10, 10, 10),
+		},
+		total: 40, eps: 1,
+	}
+	r := audit.Check(s, audit.Options{})
+	if r.OK() {
+		t.Fatalf("inconsistent views passed audit:\n%s", r)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Invariant == "consistency" && f.Severity == audit.Error {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no consistency finding:\n%s", r)
+	}
+}
+
+func TestTotalMismatchFails(t *testing.T) {
+	s := &fakeSyn{
+		views: []*marginal.Table{table([]int{0}, 10, 10)},
+		total: 95, eps: 1, // views say 20
+	}
+	r := audit.Check(s, audit.Options{})
+	if r.OK() {
+		t.Fatalf("total mismatch passed audit:\n%s", r)
+	}
+}
+
+func TestNegativeCellSeverity(t *testing.T) {
+	// Mildly negative (beyond θ but far from the error threshold):
+	// Warning only, audit still passes.
+	mild := &fakeSyn{
+		views: []*marginal.Table{table([]int{0}, 42, -2)},
+		total: 40, eps: 1,
+	}
+	r := audit.Check(mild, audit.Options{})
+	if !r.OK() {
+		t.Fatalf("mildly negative cell failed audit:\n%s", r)
+	}
+	warned := false
+	for _, f := range r.Findings {
+		if f.Invariant == "non-negativity" && f.Severity == audit.Warning {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no non-negativity warning:\n%s", r)
+	}
+
+	// Catastrophically negative: Error.
+	bad := &fakeSyn{
+		views: []*marginal.Table{table([]int{0}, 140, -100)},
+		total: 40, eps: 1,
+	}
+	if r := audit.Check(bad, audit.Options{}); r.OK() {
+		t.Fatalf("catastrophically negative cell passed audit:\n%s", r)
+	}
+}
+
+func TestClampedTotalAllowed(t *testing.T) {
+	// Heavy noise at tiny ε can drive the view totals negative; the
+	// release publishes total 0. That is the documented clamp case and
+	// must not fail the audit.
+	s := &fakeSyn{
+		views: []*marginal.Table{table([]int{0}, -3, -2)},
+		total: 0, eps: 1,
+	}
+	r := audit.Check(s, audit.Options{NonnegErr: 1000})
+	for _, f := range r.Findings {
+		if f.Invariant == "total" && f.Severity == audit.Error {
+			t.Fatalf("clamped total flagged as error:\n%s", r)
+		}
+	}
+}
+
+func TestEmptyAndNilViews(t *testing.T) {
+	if r := audit.Check(&fakeSyn{total: 1, eps: 1}, audit.Options{}); r.OK() {
+		t.Fatal("empty synopsis passed audit")
+	}
+	s := &fakeSyn{views: []*marginal.Table{nil}, total: 1, eps: 1}
+	if r := audit.Check(s, audit.Options{}); r.OK() {
+		t.Fatal("nil view passed audit")
+	}
+}
+
+// FuzzAuditReport feeds arbitrary bytes through core.Load and, when a
+// synopsis comes out, audits it. Neither step may panic, and the
+// report must always render.
+func FuzzAuditReport(f *testing.F) {
+	var buf bytes.Buffer
+	if err := buildReal(&testing.T{}, 3, 1).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"format":"priview-synopsis-v1","epsilon":1,"total":4,"views":[{"attrs":[0,1],"cells":[1,1,1,1]}]}`))
+	f.Add([]byte(`{"format":"priview-synopsis-v1"}`))
+	f.Add([]byte("not json"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := core.Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		r := audit.Check(s, audit.Options{})
+		if r == nil {
+			t.Fatal("nil report")
+		}
+		_ = r.String()
+		_ = r.OK()
+		_ = r.Err()
+	})
+}

@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+
+	"priview/internal/snapshot"
+)
+
+// ErrInjectedFS is the failure FaultFS and Writer fabricate for
+// filesystem operations; tests assert on it with errors.Is.
+var ErrInjectedFS = errors.New("chaos: injected filesystem fault")
+
+// Writer wraps an io.Writer and fails with ErrInjectedFS after
+// FailAfter bytes have been accepted — a deterministic short write
+// (full disk, yanked device). FailAfter <= 0 fails the first write.
+type Writer struct {
+	W         io.Writer
+	FailAfter int
+
+	written int
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	room := w.FailAfter - w.written
+	if room <= 0 {
+		return 0, fmt.Errorf("%w: write refused after %d bytes", ErrInjectedFS, w.written)
+	}
+	if len(p) <= room {
+		n, err := w.W.Write(p)
+		w.written += n
+		return n, err
+	}
+	n, err := w.W.Write(p[:room])
+	w.written += n
+	if err != nil {
+		return n, err
+	}
+	return n, fmt.Errorf("%w: short write after %d bytes", ErrInjectedFS, w.written)
+}
+
+// FaultFS wraps a snapshot.FS and injects storage faults
+// deterministically:
+//
+//   - TornWriteAt > 0 silently truncates every file created through it
+//     to that many bytes — the write "succeeds" (sync, close and rename
+//     all report OK) but the bytes never hit the platter, modeling a
+//     lying disk or a crash between fsync acknowledgment and stable
+//     storage.
+//   - FlipBit flips the lowest bit of byte FlipBitOffset in every file
+//     created through it — bit rot.
+//   - RenameFailures / SyncFailures fail that many Rename/Sync calls
+//     with ErrInjectedFS before behaving normally — a crash window in
+//     the middle of the atomic publish protocol.
+//
+// All other operations delegate to Base. The zero value of the fault
+// fields injects nothing.
+type FaultFS struct {
+	Base snapshot.FS
+
+	TornWriteAt   int
+	FlipBit       bool
+	FlipBitOffset int
+
+	mu             sync.Mutex
+	renameFailures int
+	syncFailures   int
+}
+
+// NewFaultFS returns a FaultFS over base with no faults armed.
+func NewFaultFS(base snapshot.FS) *FaultFS {
+	return &FaultFS{Base: base}
+}
+
+// FailRenames arms the next n Rename calls to fail.
+func (f *FaultFS) FailRenames(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renameFailures = n
+}
+
+// FailSyncs arms the next n file Sync calls to fail.
+func (f *FaultFS) FailSyncs(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncFailures = n
+}
+
+// MkdirAll implements snapshot.FS.
+func (f *FaultFS) MkdirAll(dir string, perm os.FileMode) error { return f.Base.MkdirAll(dir, perm) }
+
+// CreateTemp implements snapshot.FS. The returned file buffers all
+// writes and applies the armed corruption when closed, so the
+// "successful" write path is exercised end to end.
+func (f *FaultFS) CreateTemp(dir, pattern string) (snapshot.File, error) {
+	real, err := f.Base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, real: real}, nil
+}
+
+// Rename implements snapshot.FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	fail := f.renameFailures > 0
+	if fail {
+		f.renameFailures--
+	}
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: rename %s", ErrInjectedFS, newpath)
+	}
+	return f.Base.Rename(oldpath, newpath)
+}
+
+// Remove implements snapshot.FS.
+func (f *FaultFS) Remove(name string) error { return f.Base.Remove(name) }
+
+// ReadFile implements snapshot.FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.Base.ReadFile(name) }
+
+// ReadDir implements snapshot.FS.
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.Base.ReadDir(name) }
+
+// SyncDir implements snapshot.FS.
+func (f *FaultFS) SyncDir(dir string) error { return f.Base.SyncDir(dir) }
+
+// faultFile buffers writes and applies the FaultFS corruption on Close,
+// reporting success throughout — corruption the writer cannot observe.
+type faultFile struct {
+	fs   *FaultFS
+	real snapshot.File
+	buf  []byte
+}
+
+func (f *faultFile) Name() string { return f.real.Name() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	fail := f.fs.syncFailures > 0
+	if fail {
+		f.fs.syncFailures--
+	}
+	f.fs.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: sync %s", ErrInjectedFS, f.real.Name())
+	}
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	data := f.buf
+	if f.fs.TornWriteAt > 0 && len(data) > f.fs.TornWriteAt {
+		data = data[:f.fs.TornWriteAt]
+	}
+	if f.fs.FlipBit {
+		if off := f.fs.FlipBitOffset; off >= 0 && off < len(data) {
+			data = append([]byte(nil), data...)
+			data[off] ^= 1
+		}
+	}
+	if _, err := f.real.Write(data); err != nil {
+		//lint:ignore errdiscard the write error takes precedence over close
+		_ = f.real.Close()
+		return err
+	}
+	if err := f.real.Sync(); err != nil {
+		//lint:ignore errdiscard the sync error takes precedence over close
+		_ = f.real.Close()
+		return err
+	}
+	return f.real.Close()
+}

@@ -1,0 +1,92 @@
+package consistency
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"priview/internal/marginal"
+)
+
+// TestRippleProperty drives Ripple over 200 seeded random tables and
+// checks the paper's two §4.5 guarantees on every one: afterwards no
+// cell is below −θ, and the total count is preserved (up to float
+// accumulation error scaled to the mass moved).
+func TestRippleProperty(t *testing.T) {
+	const trials = 200
+	for seed := int64(0); seed < trials; seed++ {
+		r := rand.New(rand.NewSource(seed))
+
+		// Vary the shape: 1..6 attributes, so 2..64 cells.
+		k := 1 + r.Intn(6)
+		attrs := make([]int, k)
+		for i := range attrs {
+			attrs[i] = i
+		}
+		tab := marginal.New(attrs)
+
+		// Mix regimes: mostly-positive tables with a few noisy negatives,
+		// heavily negative tables, and near-zero tables. All are shapes
+		// the noisy pre-consistency marginals actually take.
+		scale := math.Pow(10, float64(r.Intn(4))) // 1, 10, 100, 1000
+		negFrac := []float64{0.1, 0.5, 0.9}[r.Intn(3)]
+		for i := range tab.Cells {
+			v := r.Float64() * scale
+			if r.Float64() < negFrac {
+				v = -v
+			}
+			tab.Cells[i] = v
+		}
+
+		// Ripple's total-preservation guarantee only makes sense for
+		// tables with positive total (a non-negative table summing to a
+		// negative number cannot exist); real pre-ripple marginals sum to
+		// the noisy record count N > 0. Shift mass into cell 0 if the
+		// random draw went net negative.
+		if tot := tab.Total(); tot <= 0 {
+			tab.Cells[0] += scale - tot
+		}
+
+		theta := []float64{DefaultRippleTheta, 0.01, 5}[r.Intn(3)]
+		before := tab.Total()
+		mass := 0.0
+		for _, v := range tab.Cells {
+			mass += math.Abs(v)
+		}
+
+		Ripple(tab, theta)
+
+		for i, v := range tab.Cells {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("seed %d: cell %d non-finite after Ripple: %v", seed, i, v)
+			}
+			if v < -theta {
+				t.Fatalf("seed %d (k=%d θ=%g): cell %d = %v below -θ after Ripple",
+					seed, k, theta, i, v)
+			}
+		}
+		// Each ripple op moves O(|cell|) mass through ℓ float64 adds, so
+		// allow accumulation error proportional to the table's mass.
+		tol := 1e-9 * math.Max(mass, 1)
+		if diff := math.Abs(tab.Total() - before); diff > tol {
+			t.Fatalf("seed %d (k=%d θ=%g): total drifted by %g (before %g, after %g)",
+				seed, k, theta, diff, before, tab.Total())
+		}
+	}
+}
+
+// TestRippleNegativeTotalFallsBackToClamp pins the documented escape
+// hatch: a table whose total is negative cannot be corrected while
+// preserving its total, so Ripple must still terminate and leave no
+// cell below −θ (falling back to clamping rather than looping).
+func TestRippleNegativeTotalFallsBackToClamp(t *testing.T) {
+	tab := marginal.New([]int{0})
+	tab.Cells[0] = 10
+	tab.Cells[1] = -90
+	Ripple(tab, DefaultRippleTheta)
+	for i, v := range tab.Cells {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < -DefaultRippleTheta {
+			t.Fatalf("cell %d = %v after Ripple on a negative-total table", i, v)
+		}
+	}
+}

@@ -297,23 +297,36 @@ func (s *Synopsis) QueryContext(ctx context.Context, attrs []int) (*marginal.Tab
 // QueryMethod is Query with an explicit estimator, leaving the synopsis
 // configuration untouched — callers serving concurrent requests with
 // different estimators use this. It is safe for concurrent use: all
-// reconstruction paths read the views without mutating them.
+// reconstruction paths read the views without mutating them. When the
+// preferred solver fails numerically the fallback-chain answer is
+// returned (see QueryMethodContext); QueryMethod never returns NaN.
 func (s *Synopsis) QueryMethod(attrs []int, method ReconstructMethod) *marginal.Table {
 	t, err := s.QueryMethodContext(context.Background(), attrs, method)
-	if err != nil {
+	if t == nil {
 		// Unreachable: context.Background is never canceled, and every
-		// non-cancellation solver failure falls back to maxent.
+		// numerical failure degrades to a non-nil fallback table.
 		panic(fmt.Sprintf("core: %v", err))
 	}
 	return t
 }
 
-// QueryMethodContext is QueryMethod with cooperative cancellation: the
-// caller's deadline or cancellation is threaded into the iterative
-// solvers, which abandon the reconstruction and surface
+// QueryMethodContext is QueryMethod with cooperative cancellation and
+// graceful numerical degradation.
+//
+// Cancellation: the caller's deadline or cancellation is threaded into
+// the iterative solvers, which abandon the reconstruction and surface
 // reconstruct.ErrDeadline or reconstruct.ErrCanceled (both also
-// matching the context sentinels under errors.Is). A query whose ctx
-// stays live never returns an error.
+// matching the context sentinels under errors.Is); the table is nil.
+//
+// Numerical failures never poison the answer: constraints carrying
+// NaN/Inf are dropped, and a solver that detects instability
+// (reconstruct.ErrNumerical) is replaced by the next estimator in the
+// MaxEnt → dual → least-squares chain, with a uniform table as the
+// final resort. In that degraded regime the returned table is non-nil
+// AND the error is non-nil, matching reconstruct.ErrNumerical — the
+// table is a usable (finite, non-NaN) answer and the error records that
+// it came from a fallback. A query whose ctx stays live therefore
+// always returns a finite table.
 func (s *Synopsis) QueryMethodContext(ctx context.Context, attrs []int, method ReconstructMethod) (*marginal.Table, error) {
 	if err := reconstruct.ContextErr(ctx); err != nil {
 		return nil, err
@@ -323,35 +336,103 @@ func (s *Synopsis) QueryMethodContext(ctx context.Context, attrs []int, method R
 	if method == LP {
 		source = s.rawViews
 	}
+	var degraded error // first numerical problem encountered
 	if t := reconstruct.Covered(source, canonical); t != nil {
-		if method == LP || s.cfg.SkipPostprocess {
-			// Raw views may carry negatives even in the covered case.
-			clamped := t.Clone()
-			clamped.ClampNegatives()
-			return clamped, nil
+		if reconstruct.FiniteTable(t) {
+			if method == LP || s.cfg.SkipPostprocess {
+				// Raw views may carry negatives even in the covered case.
+				clamped := t.Clone()
+				clamped.ClampNegatives()
+				return clamped, nil
+			}
+			return t, nil
 		}
-		return t, nil
+		// The covering view is poisoned; reconstruct from whatever
+		// healthy views remain instead of answering NaN.
+		degraded = &reconstruct.NumericalError{
+			Solver: "direct", Iter: -1, Quantity: "covering view cell", Value: math.NaN(),
+		}
 	}
 	cons := reconstruct.ConstraintsFromViews(source, canonical)
+	cons, dropped := reconstruct.DropNonFinite(cons)
+	if dropped > 0 && degraded == nil {
+		degraded = &reconstruct.NumericalError{
+			Solver: "constraints", Iter: -1,
+			Quantity: fmt.Sprintf("%d non-finite constraint table(s)", dropped), Value: math.NaN(),
+		}
+	}
+	total := s.total
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		if degraded == nil {
+			degraded = &reconstruct.NumericalError{Solver: "synopsis", Iter: -1, Quantity: "total", Value: total}
+		}
+		// Re-estimate from the surviving healthy constraints.
+		total = meanTotal(cons)
+		if math.IsNaN(total) || math.IsInf(total, 0) || total < 0 {
+			total = 0
+		}
+	}
+	var t *marginal.Table
+	for _, m := range fallbackChain(method) {
+		var err error
+		t, err = s.solveOnce(ctx, m, canonical, total, cons)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, reconstruct.ErrCanceled) || errors.Is(err, reconstruct.ErrDeadline) {
+			return nil, err
+		}
+		// Numerical trouble (or an LP solver failure — the LP is always
+		// feasible, so those are numerical too): remember the first
+		// cause and try the next estimator.
+		if degraded == nil {
+			degraded = err
+		}
+		t = nil
+	}
+	if t == nil {
+		// Every estimator failed; a uniform table is the only answer
+		// that is always finite and total-preserving.
+		t = marginal.Uniform(canonical, math.Max(total, 0))
+	}
+	if degraded != nil && !errors.Is(degraded, reconstruct.ErrNumerical) {
+		degraded = &reconstruct.NumericalError{
+			Solver: method.String(), Iter: -1, Quantity: "solver failure", Value: math.NaN(), Err: degraded,
+		}
+	}
+	return t, degraded
+}
+
+// fallbackChain orders the estimators tried for a query: the requested
+// method first, then the remaining iterative solvers in the paper's
+// MaxEnt → dual → least-squares preference order. The LP methods fall
+// back onto the same chain (their constraint system is shared).
+func fallbackChain(method ReconstructMethod) []ReconstructMethod {
 	switch method {
 	case CME:
-		return reconstruct.MaxEntContext(ctx, canonical, s.total, cons, s.cfg.Reconstruct)
+		return []ReconstructMethod{CME, CMEDual, CLN}
 	case CMEDual:
-		return reconstruct.MaxEntDualContext(ctx, canonical, s.total, cons, s.cfg.Reconstruct)
+		return []ReconstructMethod{CMEDual, CME, CLN}
 	case CLN:
-		return reconstruct.LeastSquaresContext(ctx, canonical, s.total, cons, s.cfg.Reconstruct)
+		return []ReconstructMethod{CLN, CME, CMEDual}
 	case LP, CLP:
-		t, err := reconstruct.LinProgContext(ctx, canonical, cons)
-		if err != nil {
-			if errors.Is(err, reconstruct.ErrCanceled) || errors.Is(err, reconstruct.ErrDeadline) {
-				return nil, err
-			}
-			// The LP is always feasible (τ is unconstrained above), so
-			// failures indicate numerical trouble; fall back to maxent
-			// rather than returning nothing.
-			return reconstruct.MaxEntContext(ctx, canonical, s.total, cons, s.cfg.Reconstruct)
-		}
-		return t, nil
+		return []ReconstructMethod{method, CME, CMEDual, CLN}
+	default:
+		panic(fmt.Sprintf("core: unknown reconstruction method %d", int(method)))
+	}
+}
+
+// solveOnce runs a single estimator without fallback.
+func (s *Synopsis) solveOnce(ctx context.Context, method ReconstructMethod, attrs []int, total float64, cons []*marginal.Table) (*marginal.Table, error) {
+	switch method {
+	case CME:
+		return reconstruct.MaxEntContext(ctx, attrs, total, cons, s.cfg.Reconstruct)
+	case CMEDual:
+		return reconstruct.MaxEntDualContext(ctx, attrs, total, cons, s.cfg.Reconstruct)
+	case CLN:
+		return reconstruct.LeastSquaresContext(ctx, attrs, total, cons, s.cfg.Reconstruct)
+	case LP, CLP:
+		return reconstruct.LinProgContext(ctx, attrs, cons)
 	default:
 		panic(fmt.Sprintf("core: unknown reconstruction method %d", int(method)))
 	}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"priview/internal/covering"
 	"priview/internal/marginal"
@@ -34,10 +36,53 @@ type viewFile struct {
 
 const synopsisFormat = "priview-synopsis-v1"
 
+// SynopsisFormatV1 is the legacy on-disk format identifier written by
+// Save; the snapshot package wraps the same payload in a checksummed v2
+// container.
+const SynopsisFormatV1 = synopsisFormat
+
+// ErrNonFinite reports a NaN or ±Inf where the synopsis must be finite.
+// Save refuses to publish such a synopsis (a reader could not
+// distinguish the poisoned cells from real counts), and Load refuses to
+// accept one.
+var ErrNonFinite = errors.New("core: non-finite value in synopsis")
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks that the synopsis is structurally publishable: finite
+// epsilon, total and cells, and per-view cell counts matching 2^|attrs|.
+// Save runs it before writing anything, so a poisoned synopsis fails
+// with a typed error instead of encoding/json's opaque
+// "unsupported value: NaN" from deep inside the encoder.
+func (s *Synopsis) Validate() error {
+	if !finite(s.cfg.Epsilon) || s.cfg.Epsilon < 0 {
+		return fmt.Errorf("%w: epsilon is %v", ErrNonFinite, s.cfg.Epsilon)
+	}
+	if !finite(s.total) {
+		return fmt.Errorf("%w: total is %v", ErrNonFinite, s.total)
+	}
+	for i, v := range s.views {
+		if len(v.Cells) != 1<<uint(len(v.Attrs)) {
+			return fmt.Errorf("core: view %d (attrs %v) has %d cells, want %d",
+				i, v.Attrs, len(v.Cells), 1<<uint(len(v.Attrs)))
+		}
+		for j, c := range v.Cells {
+			if !finite(c) {
+				return fmt.Errorf("%w: view %d (attrs %v) cell %d is %v", ErrNonFinite, i, v.Attrs, j, c)
+			}
+		}
+	}
+	return nil
+}
+
 // Save serializes the synopsis as JSON. Only the post-processed
 // views are stored — they are the published object; raw noisy views are
-// an intermediate artifact.
+// an intermediate artifact. A synopsis carrying non-finite cells is
+// rejected with ErrNonFinite before any bytes are written.
 func (s *Synopsis) Save(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
 	f := synopsisFile{
 		Format:  synopsisFormat,
 		Epsilon: s.cfg.Epsilon,
@@ -59,6 +104,12 @@ func (s *Synopsis) Save(w io.Writer) error {
 // Load reads a synopsis previously written with Save. The views are
 // used as-is (they were post-processed before saving); queries use the
 // maximum-entropy estimator unless changed with SetMethod.
+//
+// Load validates the document before building anything: unknown
+// formats, non-finite values, cell counts disagreeing with the
+// attribute sets, unsorted or out-of-range attributes, duplicate views
+// and malformed designs are all rejected with a descriptive error —
+// never accepted silently, and never a panic, whatever the input bytes.
 func Load(r io.Reader) (*Synopsis, error) {
 	var f synopsisFile
 	dec := json.NewDecoder(r)
@@ -71,16 +122,42 @@ func Load(r io.Reader) (*Synopsis, error) {
 	if len(f.Views) == 0 {
 		return nil, fmt.Errorf("core: synopsis has no views")
 	}
+	if !finite(f.Epsilon) || f.Epsilon < 0 {
+		return nil, fmt.Errorf("%w: epsilon is %v", ErrNonFinite, f.Epsilon)
+	}
+	if !finite(f.Total) {
+		return nil, fmt.Errorf("%w: total is %v", ErrNonFinite, f.Total)
+	}
+	design, err := loadDesign(f.Design)
+	if err != nil {
+		return nil, err
+	}
 	views := make([]*marginal.Table, len(f.Views))
+	seen := map[string]int{}
 	for i, vf := range f.Views {
-		t := marginal.New(vf.Attrs)
-		if len(vf.Cells) != t.Size() {
-			return nil, fmt.Errorf("core: view %d has %d cells, want %d", i, len(vf.Cells), t.Size())
+		if err := validAttrs(vf.Attrs, design); err != nil {
+			return nil, fmt.Errorf("core: view %d: %w", i, err)
 		}
+		// Check the declared cell count BEFORE allocating the table, so
+		// a corrupt attrs list cannot force a 2^30-cell allocation that
+		// the next line would reject anyway.
+		if want := 1 << uint(len(vf.Attrs)); len(vf.Cells) != want {
+			return nil, fmt.Errorf("core: view %d has %d cells, want %d", i, len(vf.Cells), want)
+		}
+		for j, c := range vf.Cells {
+			if !finite(c) {
+				return nil, fmt.Errorf("%w: view %d cell %d is %v", ErrNonFinite, i, j, c)
+			}
+		}
+		key := marginal.Key(vf.Attrs)
+		if prev, dup := seen[key]; dup {
+			return nil, fmt.Errorf("core: views %d and %d both cover attributes %v", prev, i, vf.Attrs)
+		}
+		seen[key] = i
+		t := marginal.New(vf.Attrs)
 		copy(t.Cells, vf.Cells)
 		views[i] = t
 	}
-	design := &covering.Design{D: f.Design.D, T: f.Design.T, L: f.Design.L, Blocks: f.Design.Blocks}
 	s := &Synopsis{
 		cfg:      Config{Epsilon: f.Epsilon, Design: design, Method: CME},
 		views:    views,
@@ -88,6 +165,58 @@ func Load(r io.Reader) (*Synopsis, error) {
 		total:    f.Total,
 	}
 	return s, nil
+}
+
+// maxLoadAttrs bounds a loaded view's attribute count. It matches the
+// marginal package's table-size limit; anything larger would need ≥ 2^31
+// cells and cannot be a real view.
+const maxLoadAttrs = 30
+
+// validAttrs checks a view attribute list: strictly ascending, within
+// the global attribute-index range, inside the design's dimensionality
+// when a design is present, and small enough to index a table.
+func validAttrs(attrs []int, design *covering.Design) error {
+	if len(attrs) > maxLoadAttrs {
+		return fmt.Errorf("has %d attributes, max %d", len(attrs), maxLoadAttrs)
+	}
+	for i, a := range attrs {
+		if a < 0 || a >= 64 {
+			return fmt.Errorf("attribute %d out of range [0, 64)", a)
+		}
+		if design != nil && a >= design.D {
+			return fmt.Errorf("attribute %d outside design over %d attributes", a, design.D)
+		}
+		if i > 0 && a <= attrs[i-1] {
+			return fmt.Errorf("attributes %v not strictly ascending", attrs)
+		}
+	}
+	return nil
+}
+
+// loadDesign validates and builds the covering design from its file
+// form. A zero design (the serialization of a synopsis built without
+// one) loads as nil rather than as an unusable zero-dimensional design.
+func loadDesign(df designFile) (*covering.Design, error) {
+	if df.D == 0 && len(df.Blocks) == 0 {
+		return nil, nil
+	}
+	if df.D < 1 || df.D > 64 {
+		return nil, fmt.Errorf("core: design dimension %d out of range [1, 64]", df.D)
+	}
+	if df.T < 0 || df.L < 0 {
+		return nil, fmt.Errorf("core: design has negative parameters (t=%d, ℓ=%d)", df.T, df.L)
+	}
+	for i, b := range df.Blocks {
+		for j, a := range b {
+			if a < 0 || a >= df.D {
+				return nil, fmt.Errorf("core: design block %d contains out-of-range attribute %d", i, a)
+			}
+			if j > 0 && a <= b[j-1] {
+				return nil, fmt.Errorf("core: design block %d not strictly ascending", i)
+			}
+		}
+	}
+	return &covering.Design{D: df.D, T: df.T, L: df.L, Blocks: df.Blocks}, nil
 }
 
 // SetMethod switches the reconstruction estimator used by Query. It

@@ -124,6 +124,15 @@ func (d *Dataset) OneWayDensities() []float64 {
 // a header line "dim N" followed by one record per line as a bit string
 // (attribute 0 first).
 func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	// Reject records with bits above the declared dimension before
+	// writing anything: serializing them would silently drop attribute
+	// values, producing a file that parses but lies about the data.
+	mask := maskFor(d.dim)
+	for i, r := range d.records {
+		if r&^mask != 0 {
+			return 0, fmt.Errorf("dataset: record %d (%#x) has bits above dimension %d", i, r, d.dim)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	var n int64
 	c, err := fmt.Fprintf(bw, "%d %d\n", d.dim, len(d.records))
@@ -190,6 +199,19 @@ func ReadFrom(r io.Reader) (*Dataset, error) {
 			}
 		}
 		records = append(records, rec)
+	}
+	// The header promised exactly count records; anything but trailing
+	// whitespace afterwards means the header and body disagree — a
+	// truncated count or a concatenated file — and silently dropping
+	// the excess would hide the corruption.
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			break
+		}
+		if b != '\n' && b != '\r' && b != ' ' && b != '\t' {
+			return nil, fmt.Errorf("dataset: trailing data after %d declared records", count)
+		}
 	}
 	return &Dataset{dim: dim, records: records}, nil
 }

@@ -146,17 +146,44 @@ func TestRoundTripSerialization(t *testing.T) {
 
 func TestReadFromErrors(t *testing.T) {
 	cases := []string{
-		"",           // no header
-		"3 2\n101\n", // truncated
-		"3 1\n10\n",  // short record
-		"3 1\n1x1\n", // bad character
-		"99 0\n",     // dim out of range
-		"3 -1\n",     // negative count
+		"",                 // no header
+		"3 2\n101\n",       // truncated
+		"3 1\n10\n",        // short record
+		"3 1\n1x1\n",       // bad character
+		"99 0\n",           // dim out of range
+		"3 -1\n",           // negative count
+		"3 1\n101\n110\n",  // more records than the header declares
+		"3 1\n101\njunk\n", // trailing garbage
 	}
 	for _, c := range cases {
 		if _, err := ReadFrom(strings.NewReader(c)); err == nil {
 			t.Errorf("ReadFrom(%q) succeeded, want error", c)
 		}
+	}
+}
+
+func TestReadFromToleratesTrailingWhitespace(t *testing.T) {
+	got, err := ReadFrom(strings.NewReader("3 1\n101\n\n  \n"))
+	if err != nil {
+		t.Fatalf("trailing blank lines rejected: %v", err)
+	}
+	if got.Len() != 1 || got.Record(0) != 0b101 {
+		t.Fatalf("parsed %v", got.Records())
+	}
+}
+
+// TestWriteToRejectsBitsAboveDim constructs (package-internally) a
+// dataset whose record carries a bit above its declared dimension —
+// serializing it would silently drop that attribute, so WriteTo must
+// refuse.
+func TestWriteToRejectsBitsAboveDim(t *testing.T) {
+	d := &Dataset{dim: 2, records: []uint64{0b101}}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err == nil {
+		t.Fatal("WriteTo serialized a record with bits above dim")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("WriteTo emitted %d bytes before failing", buf.Len())
 	}
 }
 

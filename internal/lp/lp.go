@@ -53,6 +53,10 @@ type Solution struct {
 var (
 	ErrInfeasible = errors.New("lp: infeasible")
 	ErrUnbounded  = errors.New("lp: unbounded")
+	// ErrNumerical reports NaN/Inf contamination of the simplex tableau
+	// — bad inputs or accumulated rounding blow-up. The solve cannot
+	// continue meaningfully once the tableau is poisoned.
+	ErrNumerical = errors.New("lp: numerical instability")
 )
 
 const (
@@ -92,9 +96,22 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 		return nil, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), n)
 	}
 	m := len(p.Constraints)
+	for j, v := range p.Objective {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("%w: objective coefficient %d is %v", ErrNumerical, j, v)
+		}
+	}
 	for i, c := range p.Constraints {
 		if len(c.Coef) != n {
 			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coef), n)
+		}
+		if !isFinite(c.B) {
+			return nil, fmt.Errorf("%w: constraint %d right-hand side is %v", ErrNumerical, i, c.B)
+		}
+		for j, v := range c.Coef {
+			if !isFinite(v) {
+				return nil, fmt.Errorf("%w: constraint %d coefficient %d is %v", ErrNumerical, i, j, v)
+			}
 		}
 	}
 
@@ -253,6 +270,11 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 			x[bi] = t.rows[i][cols]
 		}
 	}
+	for j, v := range x {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("%w: solution variable %d is %v", ErrNumerical, j, v)
+		}
+	}
 	objVal := 0.0
 	for j := 0; j < n; j++ {
 		objVal += p.Objective[j] * x[j]
@@ -270,6 +292,15 @@ func (t *tableau) iterate(ctx context.Context) error {
 		if iter%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("lp: %w", err)
+			}
+			// The objective row participates in every pivot, so NaN/Inf
+			// anywhere in the tableau reaches it within a pivot or two;
+			// scanning just this row keeps the check off the O(m·n)
+			// per-pivot path while still catching poisoned state early.
+			for j := 0; j <= t.cols; j++ {
+				if !isFinite(obj[j]) {
+					return fmt.Errorf("%w: objective row entry %d is %v at pivot %d", ErrNumerical, j, obj[j], iter)
+				}
 			}
 		}
 		enter := -1
@@ -313,6 +344,8 @@ func (t *tableau) iterate(ctx context.Context) error {
 	}
 	return errors.New("lp: iteration limit exceeded")
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // pivot performs a full tableau pivot on (row, col).
 func (t *tableau) pivot(row, col int) {

@@ -1,0 +1,63 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSolveRejectsNonFiniteObjective(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, math.NaN()},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: LE, B: 10},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrNumerical) {
+		t.Fatalf("NaN objective: err = %v, want ErrNumerical", err)
+	}
+}
+
+func TestSolveRejectsNonFiniteConstraint(t *testing.T) {
+	for name, p := range map[string]*Problem{
+		"coef": {
+			NumVars:   2,
+			Objective: []float64{1, 1},
+			Constraints: []Constraint{
+				{Coef: []float64{math.Inf(1), 1}, Rel: LE, B: 10},
+			},
+		},
+		"rhs": {
+			NumVars:   2,
+			Objective: []float64{1, 1},
+			Constraints: []Constraint{
+				{Coef: []float64{1, 1}, Rel: GE, B: math.NaN()},
+			},
+		},
+	} {
+		if _, err := Solve(p); !errors.Is(err, ErrNumerical) {
+			t.Errorf("%s: err = %v, want ErrNumerical", name, err)
+		}
+	}
+}
+
+// TestSolveCleanProblemUnaffected proves the guards leave an ordinary
+// solve untouched.
+func TestSolveCleanProblemUnaffected(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-1, -2}, // maximize x+2y
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: LE, B: 4},
+			{Coef: []float64{0, 1}, Rel: LE, B: 3},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(sol.Obj-(-7)) > 1e-9 {
+		t.Fatalf("objective = %g, want -7", sol.Obj)
+	}
+}

@@ -30,6 +30,9 @@ func MaxEntDual(attrs []int, total float64, cons []*marginal.Table, opt Options)
 // few dual-ascent steps it polls ctx and returns ErrCanceled or
 // ErrDeadline instead of running out its iteration budget.
 func MaxEntDualContext(ctx context.Context, attrs []int, total float64, cons []*marginal.Table, opt Options) (*marginal.Table, error) {
+	if err := checkInputs("maxent-dual", total, cons); err != nil {
+		return nil, err
+	}
 	t := marginal.New(attrs)
 	if total <= 0 {
 		return t, nil
@@ -62,6 +65,7 @@ func MaxEntDualContext(ctx context.Context, attrs []int, total float64, cons []*
 	step := 1.0
 	tol := opt.tol() * total
 	prevWorst := math.Inf(1)
+	guard := newDivergenceGuard("maxent-dual")
 	maxIter := opt.maxIter() * 4 // dual ascent needs more, cheaper steps
 	for iter := 0; iter < maxIter; iter++ {
 		if iter%ctxCheckEvery == 0 {
@@ -107,6 +111,9 @@ func MaxEntDualContext(ctx context.Context, attrs []int, total float64, cons []*
 				}
 			}
 		}
+		if err := guard.check(iter, worst); err != nil {
+			return nil, err
+		}
 		if worst < tol {
 			break
 		}
@@ -126,5 +133,5 @@ func MaxEntDualContext(ctx context.Context, attrs []int, total float64, cons []*
 			}
 		}
 	}
-	return t, nil
+	return checkResult("maxent-dual", maxIter, t)
 }

@@ -160,6 +160,9 @@ func MaxEnt(attrs []int, total float64, cons []*marginal.Table, opt Options) *ma
 // has passed, abandons the fit and returns ErrCanceled or ErrDeadline
 // instead of running to MaxIter.
 func MaxEntContext(ctx context.Context, attrs []int, total float64, cons []*marginal.Table, opt Options) (*marginal.Table, error) {
+	if err := checkInputs("maxent", total, cons); err != nil {
+		return nil, err
+	}
 	t := marginal.New(attrs)
 	if total <= 0 {
 		return t, nil
@@ -182,6 +185,7 @@ func MaxEntContext(ctx context.Context, attrs []int, total float64, cons []*marg
 	for i := range proj {
 		proj[i] = make([]float64, cons[i].Size())
 	}
+	guard := newDivergenceGuard("maxent")
 	for iter := 0; iter < opt.maxIter(); iter++ {
 		if iter%ctxCheckEvery == 0 {
 			if err := ContextErr(ctx); err != nil {
@@ -219,11 +223,14 @@ func MaxEntContext(ctx context.Context, attrs []int, total float64, cons []*marg
 				}
 			}
 		}
+		if err := guard.check(iter, worst); err != nil {
+			return nil, err
+		}
 		if worst < tol {
 			break
 		}
 	}
-	return t, nil
+	return checkResult("maxent", opt.maxIter(), t)
 }
 
 // LeastSquares reconstructs the minimum-L2-norm non-negative marginal
@@ -244,6 +251,9 @@ func LeastSquares(attrs []int, total float64, cons []*marginal.Table, opt Option
 // every few Dykstra cycles it polls ctx and returns ErrCanceled or
 // ErrDeadline instead of running to MaxIter.
 func LeastSquaresContext(ctx context.Context, attrs []int, total float64, cons []*marginal.Table, opt Options) (*marginal.Table, error) {
+	if err := checkInputs("least-squares", total, cons); err != nil {
+		return nil, err
+	}
 	t := marginal.New(attrs)
 	cons = sanitize(MaximalConstraints(cons), total)
 	if len(cons) == 0 {
@@ -273,6 +283,7 @@ func LeastSquaresContext(ctx context.Context, attrs []int, total float64, cons [
 	y := make([]float64, t.Size())
 	proj := make([]float64, 0)
 	tol := opt.tol() * math.Max(total, 1)
+	guard := newDivergenceGuard("least-squares")
 	for iter := 0; iter < opt.maxIter(); iter++ {
 		if iter%ctxCheckEvery == 0 {
 			if err := ContextErr(ctx); err != nil {
@@ -322,12 +333,15 @@ func LeastSquaresContext(ctx context.Context, attrs []int, total float64, cons [
 				}
 			}
 		}
+		if err := guard.check(iter, moved); err != nil {
+			return nil, err
+		}
 		if moved < tol {
 			break
 		}
 	}
 	t.ClampNegatives()
-	return t, nil
+	return checkResult("least-squares", opt.maxIter(), t)
 }
 
 // LinProg reconstructs the marginal by the paper's linear program:
@@ -343,6 +357,9 @@ func LinProg(attrs []int, cons []*marginal.Table) (*marginal.Table, error) {
 // the simplex iterations; it returns ErrCanceled or ErrDeadline when the
 // caller gives up, and other errors for genuine solver failures.
 func LinProgContext(ctx context.Context, attrs []int, cons []*marginal.Table) (*marginal.Table, error) {
+	if err := checkInputs("linprog", 0, cons); err != nil {
+		return nil, err
+	}
 	t := marginal.New(attrs)
 	n := t.Size()
 	// Dedupe exactly identical constraints (consistent views produce
@@ -385,10 +402,13 @@ func LinProgContext(ctx context.Context, attrs []int, cons []*marginal.Table) (*
 		if cerr := ContextErr(ctx); cerr != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			return nil, cerr
 		}
+		if errors.Is(err, lp.ErrNumerical) {
+			return nil, &NumericalError{Solver: "linprog", Iter: 0, Quantity: "simplex tableau", Value: math.NaN(), Err: err}
+		}
 		return nil, err
 	}
 	copy(t.Cells, sol.X[:n])
-	return t, nil
+	return checkResult("linprog", 0, t)
 }
 
 // dedupeIdentical drops constraints that duplicate an earlier one to

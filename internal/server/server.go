@@ -210,12 +210,16 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, resp)
 }
 
-// marginalResponse is a reconstructed marginal table.
+// marginalResponse is a reconstructed marginal table. Degraded marks
+// answers produced by the numerical fallback chain (a poisoned view or
+// an unstable solver was bypassed); the cells are finite and usable but
+// may come from a different estimator than requested.
 type marginalResponse struct {
-	Attrs  []int     `json:"attrs"`
-	Method string    `json:"method"`
-	Total  float64   `json:"total"`
-	Cells  []float64 `json:"cells"`
+	Attrs    []int     `json:"attrs"`
+	Method   string    `json:"method"`
+	Total    float64   `json:"total"`
+	Cells    []float64 `json:"cells"`
+	Degraded bool      `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
@@ -261,6 +265,17 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 			Method: method.String(),
 			Total:  table.Total(),
 			Cells:  table.Cells,
+		})
+	case errors.Is(err, reconstruct.ErrNumerical) && table != nil:
+		// The numerical fallback chain produced a finite answer; serve
+		// it (marked degraded) rather than failing the query.
+		s.opt.Logger.Printf("server: query attrs=%v method=%s degraded: %v", attrs, method, err)
+		s.writeJSON(w, marginalResponse{
+			Attrs:    table.Attrs,
+			Method:   method.String(),
+			Total:    table.Total(),
+			Cells:    table.Cells,
+			Degraded: true,
 		})
 	case errors.Is(err, reconstruct.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+
+	"priview/internal/core"
+	"priview/internal/covering"
+	"priview/internal/marginal"
+)
+
+// Swappable is a Querier whose backing synopsis can be replaced
+// atomically while queries are in flight — the hot-reload primitive
+// behind priview-serve's SIGHUP handling. In-flight queries finish
+// against the synopsis they started with; new queries see the
+// replacement. Swap never blocks the query path.
+type Swappable struct {
+	v atomic.Value
+}
+
+// querierBox gives atomic.Value the single consistent concrete type it
+// requires even as the underlying Querier implementations vary.
+type querierBox struct{ q Querier }
+
+// NewSwappable returns a Swappable initially serving q.
+func NewSwappable(q Querier) *Swappable {
+	s := &Swappable{}
+	s.v.Store(querierBox{q: q})
+	return s
+}
+
+// Swap atomically replaces the backing synopsis.
+func (s *Swappable) Swap(q Querier) { s.v.Store(querierBox{q: q}) }
+
+// Current returns the Querier new queries are served from.
+func (s *Swappable) Current() Querier { return s.v.Load().(querierBox).q }
+
+// QueryMethodContext implements Querier.
+func (s *Swappable) QueryMethodContext(ctx context.Context, attrs []int, method core.ReconstructMethod) (*marginal.Table, error) {
+	return s.Current().QueryMethodContext(ctx, attrs, method)
+}
+
+// Epsilon implements Querier.
+func (s *Swappable) Epsilon() float64 { return s.Current().Epsilon() }
+
+// Total implements Querier.
+func (s *Swappable) Total() float64 { return s.Current().Total() }
+
+// Views implements Querier.
+func (s *Swappable) Views() []*marginal.Table { return s.Current().Views() }
+
+// Design implements Querier.
+func (s *Swappable) Design() *covering.Design { return s.Current().Design() }

@@ -1,0 +1,118 @@
+// Package snapshot is the durability layer for published synopses. A
+// v2 snapshot is a JSON container wrapping the v1 synopsis document
+// with a SHA-256 checksum, so torn writes and bit rot are detected at
+// load time instead of silently serving corrupted marginals. Writes
+// are atomic (temp file + fsync + rename + directory fsync), and the
+// Store keeps a bounded history of snapshots, quarantining corrupt
+// files and falling back to the newest verifiable one.
+//
+// Bare v1 files (written by core.Save before the container existed)
+// are still readable; they simply carry no checksum, so only the
+// structural and audit checks protect them.
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"priview/internal/core"
+)
+
+// FormatV2 identifies the checksummed container.
+const FormatV2 = "priview-synopsis-v2"
+
+// ErrChecksum reports that a v2 snapshot's payload does not hash to its
+// declared checksum — the file was torn, bit-flipped or hand-edited.
+var ErrChecksum = errors.New("snapshot: checksum mismatch")
+
+// ErrFormat reports bytes that are neither a v2 container nor a bare v1
+// synopsis.
+var ErrFormat = errors.New("snapshot: unrecognized format")
+
+// envelope is the on-disk v2 container. Payload holds the complete v1
+// synopsis document verbatim; Checksum is "sha256:<hex>" over the
+// JSON-compacted payload bytes, so checksums are stable under the
+// whitespace differences JSON round-trips may introduce while still
+// covering every semantic byte.
+type envelope struct {
+	Format   string          `json:"format"`
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// checksum returns "sha256:<hex>" over the compacted payload.
+func checksum(payload []byte) (string, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		return "", fmt.Errorf("snapshot: payload is not valid JSON: %w", err)
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// Write serializes the synopsis as a v2 checksummed snapshot. The
+// synopsis is validated by core.Save's rules first (non-finite cells
+// are rejected), so a checksum is only ever computed over a
+// publishable payload.
+func Write(w io.Writer, s *core.Synopsis) error {
+	var payload bytes.Buffer
+	if err := s.Save(&payload); err != nil {
+		return err
+	}
+	sum, err := checksum(payload.Bytes())
+	if err != nil {
+		return err
+	}
+	env := envelope{Format: FormatV2, Checksum: sum, Payload: json.RawMessage(bytes.TrimSpace(payload.Bytes()))}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&env)
+}
+
+// Read loads a snapshot: a v2 container (checksum verified, then the
+// payload goes through core.Load's strict validation) or a bare v1
+// synopsis for backward compatibility. Arbitrary bytes produce an
+// error, never a panic.
+func Read(r io.Reader) (*core.Synopsis, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading: %w", err)
+	}
+	return Decode(raw)
+}
+
+// Decode is Read over an in-memory byte slice.
+func Decode(raw []byte) (*core.Synopsis, error) {
+	var sniff struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(raw, &sniff); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	switch sniff.Format {
+	case FormatV2:
+		var env envelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		if len(env.Payload) == 0 {
+			return nil, fmt.Errorf("%w: empty payload", ErrFormat)
+		}
+		sum, err := checksum(env.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: unhashable payload: %v", ErrChecksum, err)
+		}
+		if sum != env.Checksum {
+			return nil, fmt.Errorf("%w: payload hashes to %s, header declares %s", ErrChecksum, sum, env.Checksum)
+		}
+		return core.Load(bytes.NewReader(env.Payload))
+	case core.SynopsisFormatV1:
+		return core.Load(bytes.NewReader(raw))
+	default:
+		return nil, fmt.Errorf("%w: format %q", ErrFormat, sniff.Format)
+	}
+}
