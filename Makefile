@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos fuzz-short audit check
+.PHONY: all build vet lint test race chaos fuzz-short audit bench check
 
 all: build
 
@@ -29,10 +29,20 @@ race:
 
 # The fault-injection suite: chaos transport + slow-synopsis tests,
 # deadline/shedding/panic status mapping, retrying client, graceful
-# shutdown. Always under the race detector — the failure paths are
-# exactly where concurrency bugs hide. See DESIGN.md §7.
+# shutdown, and the query-cache singleflight/handoff protocol. Always
+# under the race detector — the failure paths are exactly where
+# concurrency bugs hide. See DESIGN.md §7 and §9.
 chaos:
-	$(GO) test -race ./internal/chaos/ ./internal/server/ ./cmd/priview-serve/
+	$(GO) test -race ./internal/chaos/ ./internal/server/ ./internal/qcache/ ./cmd/priview-serve/
+
+# The query-cache benchmarks: cached vs uncached reconstruction at the
+# qcache and HTTP layers, plus the constraint-dedup pass. Reference
+# numbers live in BENCH_qcache.json; see DESIGN.md §9.
+BENCHTIME ?= 1s
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkQueryCached|BenchmarkQueryUncached' -benchmem -benchtime=$(BENCHTIME) ./internal/qcache/
+	$(GO) test -run='^$$' -bench='BenchmarkServerMarginal' -benchmem -benchtime=$(BENCHTIME) ./internal/server/
+	$(GO) test -run='^$$' -bench='BenchmarkDedupeIdentical' -benchmem -benchtime=$(BENCHTIME) ./internal/reconstruct/
 
 # Short coverage-guided fuzz runs over the untrusted-input decoders:
 # snapshot container parsing and the audit-over-load pipeline. Ten

@@ -36,7 +36,7 @@ func emitf(w io.Writer, format string, args ...any) {
 func benchMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("priview-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment id: all, fig1..fig6, ablation, cat-sweep, tables, runtime")
+	exp := fs.String("exp", "all", "experiment id: all, fig1..fig6, ablation, cat-sweep, tables, runtime, qcache")
 	full := fs.Bool("full", false, "paper-scale configuration (200 queries, 5 runs, full N)")
 	queries := fs.Int("queries", 0, "override query-set count")
 	runs := fs.Int("runs", 0, "override runs per query")
@@ -51,7 +51,7 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	known := map[string]bool{
 		"all": true, "fig1": true, "fig2": true, "fig3": true, "fig4": true,
 		"fig5": true, "fig6": true, "ablation": true, "cat-sweep": true,
-		"tables": true, "runtime": true,
+		"tables": true, "runtime": true, "qcache": true,
 	}
 	if !known[*exp] {
 		emitf(stderr, "priview-bench: unknown experiment %q\n", *exp)
@@ -137,6 +137,10 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	if want("runtime") {
 		rows := experiments.RunTabRuntime(cfg)
 		emitf(stdout, "\n%s", experiments.FormatRuntime(rows))
+	}
+	if want("qcache") {
+		rows := experiments.RunQCache(cfg)
+		emitf(stdout, "\n%s", experiments.FormatQCache(rows))
 	}
 
 	if *csvPath != "" && len(allRows) > 0 {

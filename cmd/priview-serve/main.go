@@ -13,6 +13,14 @@
 //	GET /v1/info                          release metadata
 //	GET /v1/marginal?attrs=1,5,9          reconstruct a marginal
 //	GET /v1/marginal?attrs=1,5&method=CLN alternative estimator
+//	GET /v1/stats                         query-cache counters
+//
+// Query cache: because the synopsis is immutable, repeated (attrs,
+// method) queries are memoized (-cache-entries / -cache-bytes bound the
+// cache; set both ≤ 0 to disable). -warm k precomputes every ≤k-way
+// marginal in the background at startup and after each reload, so the
+// first real queries hit the cache. Cache counters are served on
+// /v1/stats and logged once a minute.
 //
 // Durability: the synopsis is checksum-verified and audited against the
 // release invariants before it serves a single query. In -store mode
@@ -41,6 +49,7 @@ import (
 
 	"priview/internal/audit"
 	"priview/internal/core"
+	"priview/internal/qcache"
 	"priview/internal/server"
 	"priview/internal/snapshot"
 )
@@ -53,6 +62,9 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request reconstruction deadline (0 disables; expiry returns 504)")
 	maxInflight := flag.Int("max-inflight", 64, "concurrent marginal queries before shedding with 429 (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries before closing connections")
+	cacheEntries := flag.Int("cache-entries", 4096, "query-cache entry bound (≤0 together with -cache-bytes ≤0 disables the cache)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "query-cache approximate byte bound (≤0 together with -cache-entries ≤0 disables the cache)")
+	warm := flag.Int("warm", 0, "precompute all marginals of up to this many attributes into the cache at startup and after reloads (0 disables)")
 	flag.Parse()
 	if (*synPath == "") == (*storeDir == "") {
 		fmt.Fprintln(os.Stderr, "priview-serve: exactly one of -synopsis or -store is required")
@@ -63,7 +75,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("priview-serve: %v", err)
 	}
-	swap := server.NewSwappable(syn)
+	cc := cacheConfig{entries: *cacheEntries, bytes: *cacheBytes, warmK: *warm}
+	swap := server.NewSwappable(cc.wrap(syn))
 	handler, srv := newServer(swap, *addr, server.Options{
 		MaxK:         *maxK,
 		QueryTimeout: *queryTimeout,
@@ -77,10 +90,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	cc.warmAsync(ctx, swap.Current())
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
+	statsTick := time.NewTicker(time.Minute)
+	defer statsTick.Stop()
 
 	for {
 		select {
@@ -88,9 +104,11 @@ func main() {
 			// Listener failed before any signal (e.g. port in use).
 			log.Fatalf("priview-serve: %v", err)
 		case <-hup:
-			if err := reload(src, swap); err != nil {
+			if err := reload(ctx, src, swap, cc); err != nil {
 				log.Printf("priview-serve: reload failed, keeping last good synopsis: %v", err)
 			}
+		case <-statsTick.C:
+			logCacheStats(swap)
 		case <-ctx.Done():
 			stop() // a second signal kills immediately via the default handler
 			log.Printf("signal received, draining for up to %v", *drainTimeout)
@@ -139,15 +157,68 @@ func (s *source) load() (*core.Synopsis, string, error) {
 }
 
 // reload hot-swaps the served synopsis from the source. On failure the
-// previous synopsis keeps serving untouched.
-func reload(src *source, swap *server.Swappable) error {
+// previous synopsis keeps serving untouched. The reloaded synopsis gets
+// a fresh cache — qcache keys carry no synopsis identity, so reusing
+// the old cache would serve the previous release's answers — and is
+// re-warmed in the background.
+func reload(ctx context.Context, src *source, swap *server.Swappable, cc cacheConfig) error {
 	syn, from, err := src.load()
 	if err != nil {
 		return err
 	}
-	swap.Swap(syn)
+	q := cc.wrap(syn)
+	swap.Swap(q)
 	log.Printf("priview-serve: reloaded synopsis from %s (ε=%g, total=%g)", from, syn.Epsilon(), syn.Total())
+	cc.warmAsync(ctx, q)
 	return nil
+}
+
+// cacheConfig carries the query-cache flags. With both bounds ≤ 0 the
+// cache is disabled and synopses are served bare.
+type cacheConfig struct {
+	entries int
+	bytes   int64
+	warmK   int
+}
+
+// wrap layers a fresh query cache over a loaded synopsis (or returns it
+// bare when the cache is disabled). Each call builds a new cache: one
+// cache must never outlive the synopsis it memoizes.
+func (cc cacheConfig) wrap(syn *core.Synopsis) server.Querier {
+	if cc.entries <= 0 && cc.bytes <= 0 {
+		return syn
+	}
+	return server.NewCachedQuerier(syn, qcache.New(cc.entries, cc.bytes))
+}
+
+// warmAsync precomputes all ≤warmK-way marginals into q's cache in the
+// background, logging a summary when done. A no-op unless -warm is set
+// and q is cache-backed.
+func (cc cacheConfig) warmAsync(ctx context.Context, q server.Querier) {
+	cq, ok := q.(*server.CachedQuerier)
+	if !ok || cc.warmK <= 0 {
+		return
+	}
+	go func() {
+		start := time.Now()
+		n, err := cq.Warm(ctx, cc.warmK, 0)
+		if err != nil {
+			log.Printf("priview-serve: cache warming stopped after %d marginals: %v", n, err)
+			return
+		}
+		log.Printf("priview-serve: warmed %d marginals (≤%d-way) in %v", n, cc.warmK, time.Since(start).Round(time.Millisecond))
+	}()
+}
+
+// logCacheStats emits the periodic cache counters line; silent when the
+// current querier keeps no cache.
+func logCacheStats(st server.CacheStatser) {
+	s, enabled := st.CacheStats()
+	if !enabled {
+		return
+	}
+	log.Printf("priview-serve: cache stats: hits=%d misses=%d evictions=%d coalesced=%d entries=%d bytes=%d",
+		s.Hits, s.Misses, s.Evictions, s.Coalesced, s.Entries, s.Bytes)
 }
 
 // shutdown drains srv gracefully: the handler's health probe flips to

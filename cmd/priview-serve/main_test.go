@@ -47,14 +47,16 @@ func buildSynopsisFile(t *testing.T) string {
 }
 
 // TestServeSmoke drives the command's own plumbing end to end: load a
-// published synopsis from disk, assemble the server, and answer health
-// and marginal queries over a real TCP socket.
+// published synopsis from disk, wrap it in the query cache the way main
+// does, assemble the server, and answer health, marginal and stats
+// queries over a real TCP socket.
 func TestServeSmoke(t *testing.T) {
 	syn, err := loadSynopsis(buildSynopsisFile(t))
 	if err != nil {
 		t.Fatalf("loadSynopsis: %v", err)
 	}
-	_, srv := newServer(syn, "127.0.0.1:0", server.Options{MaxK: 8})
+	cc := cacheConfig{entries: 128, bytes: 1 << 20}
+	_, srv := newServer(cc.wrap(syn), "127.0.0.1:0", server.Options{MaxK: 8})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -93,6 +95,31 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if code, body := get("/v1/marginal?attrs=0,1"); code != http.StatusOK {
 		t.Errorf("/v1/marginal: status %d, body %q", code, body)
+	}
+	// Same query again: served from the cache, visible in /v1/stats.
+	if code, body := get("/v1/marginal?attrs=0,1"); code != http.StatusOK {
+		t.Errorf("/v1/marginal repeat: status %d, body %q", code, body)
+	}
+	code, body := get("/v1/stats")
+	if code != http.StatusOK {
+		t.Errorf("/v1/stats: status %d, body %q", code, body)
+	}
+	for _, want := range []string{`"cache":true`, `"hits":1`, `"misses":1`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/v1/stats body %q missing %s", body, want)
+		}
+	}
+}
+
+// TestCacheConfigDisabled: both bounds ≤ 0 serve the synopsis bare.
+func TestCacheConfigDisabled(t *testing.T) {
+	syn, err := loadSynopsis(buildSynopsisFile(t))
+	if err != nil {
+		t.Fatalf("loadSynopsis: %v", err)
+	}
+	cc := cacheConfig{entries: 0, bytes: 0}
+	if q := cc.wrap(syn); q != server.Querier(syn) {
+		t.Errorf("disabled cacheConfig wrapped the synopsis in %T", q)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -91,7 +92,10 @@ func TestHotReloadKeepsServingThroughCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	swap := server.NewSwappable(syn)
+	// Serve with the query cache on, the default deployment: each reload
+	// must wrap the new synopsis in a fresh cache.
+	cc := cacheConfig{entries: 64, bytes: 1 << 20}
+	swap := server.NewSwappable(cc.wrap(syn))
 	handler := server.NewWithOptions(swap, server.Options{MaxK: 6})
 	srv := httptest.NewServer(handler)
 	defer srv.Close()
@@ -117,18 +121,23 @@ func TestHotReloadKeepsServingThroughCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reload(src, swap); err != nil {
+	if err := reload(context.Background(), src, swap, cc); err != nil {
 		t.Fatalf("reload: %v", err)
 	}
 	if got := query(); math.Abs(got-second.Total()) > 1e-6 {
 		t.Fatalf("after reload total = %v, want %v", got, second.Total())
+	}
+	// The reloaded synopsis answers from a fresh cache: exactly the one
+	// miss from the query above, nothing inherited from the old cache.
+	if st, enabled := swap.CacheStats(); !enabled || st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("cache after reload = %+v (enabled=%v), want a fresh cache with 1 miss", st, enabled)
 	}
 
 	// Corrupt the newest snapshot; reload must fall back to the first.
 	if err := os.WriteFile(secondPath, []byte(`{"format":"priview-synopsis-v2","checksum":"sha256:00","payload":{}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := reload(src, swap); err != nil {
+	if err := reload(context.Background(), src, swap, cc); err != nil {
 		t.Fatalf("reload with fallback available: %v", err)
 	}
 	if got := query(); math.Abs(got-first.Total()) > 1e-6 {
@@ -149,7 +158,7 @@ func TestHotReloadKeepsServingThroughCorruption(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := reload(src, swap); err == nil {
+	if err := reload(context.Background(), src, swap, cc); err == nil {
 		t.Fatal("reload succeeded with a fully corrupt store")
 	}
 	if got := query(); math.Abs(got-first.Total()) > 1e-6 {

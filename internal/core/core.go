@@ -225,9 +225,13 @@ func cloneViews(vs []*marginal.Table) []*marginal.Table {
 
 // postprocess runs Consistency, then NonnegRounds × (non-negativity +
 // Consistency) — the paper's Consistency + Ripple + Consistency
-// schedule for the default round count.
+// schedule for the default round count. Both exits clamp the published
+// total at zero: under heavy Laplace noise the mean view total can go
+// negative, and a raw-LP synopsis (SkipPostprocess) must not publish a
+// negative record count through Total() any more than a post-processed
+// one.
 func (s *Synopsis) postprocess() {
-	s.total = meanTotal(s.views)
+	s.total = clampTotal(meanTotal(s.views))
 	if s.cfg.SkipPostprocess {
 		return
 	}
@@ -244,10 +248,16 @@ func (s *Synopsis) postprocess() {
 		}
 		reconcile(s.views)
 	}
-	s.total = meanTotal(s.views)
-	if s.total < 0 {
-		s.total = 0
+	s.total = clampTotal(meanTotal(s.views))
+}
+
+// clampTotal floors a published total at zero; negative counts are a
+// noise artifact, not information.
+func clampTotal(total float64) float64 {
+	if total < 0 {
+		return 0
 	}
+	return total
 }
 
 func meanTotal(views []*marginal.Table) float64 {
@@ -454,6 +464,14 @@ func (s *Synopsis) Count(attrs []int, values []bool) float64 {
 		for j := i; j > 0 && a[j] < a[j-1]; j-- {
 			a[j], a[j-1] = a[j-1], a[j]
 			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	// Validate at the API boundary: letting a duplicate reach
+	// marginal.New panics deep inside the table layer with a message
+	// that doesn't name the caller's mistake.
+	for i := 1; i < len(a); i++ {
+		if a[i] == a[i-1] {
+			panic(fmt.Sprintf("core: Count called with duplicate attribute %d", a[i]))
 		}
 	}
 	t := s.Query(a)

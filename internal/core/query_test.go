@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"priview/internal/covering"
@@ -81,6 +82,64 @@ func TestTotalNonNegativeEvenAtTinyEps(t *testing.T) {
 			t.Errorf("seed %d: NaN total", seed)
 		}
 	}
+}
+
+// TestSkipPostprocessTotalClamped is the regression test for the
+// early-return bug: postprocess used to skip the negative-total clamp
+// when SkipPostprocess was set, so a raw-LP synopsis could publish a
+// negative Total() through /v1/info.
+func TestSkipPostprocessTotalClamped(t *testing.T) {
+	// Deterministic worst case first: views assembled with outright
+	// negative totals (what heavy Laplace noise produces at tiny ε·N).
+	views := []*marginal.Table{
+		marginal.New([]int{0, 1}),
+		marginal.New([]int{2, 3}),
+	}
+	for _, v := range views {
+		v.Fill(-25)
+	}
+	dg := covering.Groups(4, 2)
+	for _, skip := range []bool{true, false} {
+		s := FromViews(views, Config{Epsilon: 1, Design: dg, SkipPostprocess: skip})
+		if s.Total() < 0 {
+			t.Errorf("SkipPostprocess=%v: negative published total %v", skip, s.Total())
+		}
+	}
+	// And the noisy path: heavy negative Laplace draws across seeds. At
+	// N=10, ε=0.01 the per-view scale is 600, so negative view totals
+	// are common; no seed may publish one.
+	data := synth.MSNBC(10, 60)
+	dg9 := covering.Groups(9, 6)
+	for seed := int64(0); seed < 20; seed++ {
+		s := BuildSynopsis(data, Config{Epsilon: 0.01, Design: dg9, SkipPostprocess: true},
+			noise.NewStream(seed))
+		if s.Total() < 0 {
+			t.Errorf("seed %d: SkipPostprocess synopsis published negative total %v", seed, s.Total())
+		}
+	}
+}
+
+// TestCountDuplicateAttrsPanicsWithCoreMessage: the duplicate must be
+// caught at the API boundary with a core:-prefixed message, not surface
+// as marginal.New's deep panic.
+func TestCountDuplicateAttrsPanicsWithCoreMessage(t *testing.T) {
+	data := synth.MSNBC(100, 61)
+	dg := covering.Groups(9, 6)
+	s := BuildSynopsis(data, Config{Epsilon: 1, Design: dg}, noise.NewStream(62))
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected panic for duplicate attributes")
+		}
+		msg, ok := rec.(string)
+		if !ok || !strings.HasPrefix(msg, "core:") {
+			t.Errorf("panic = %v, want a core:-prefixed message", rec)
+		}
+		if !strings.Contains(msg, "duplicate attribute 3") {
+			t.Errorf("panic %q does not name the duplicate attribute", msg)
+		}
+	}()
+	s.Count([]int{3, 5, 3}, []bool{true, false, true})
 }
 
 func TestEpsilonAndDesignAccessors(t *testing.T) {

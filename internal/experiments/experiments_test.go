@@ -470,3 +470,26 @@ func TestCategoricalSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestQCacheExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: wall-clock measurement run")
+	}
+	cfg := Config{Queries: 2, Runs: 1, N: 3000, Seed: 1}
+	rows := RunQCache(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (k=6 and k=8)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Uncached <= 0 || r.Cold <= 0 || r.Hot <= 0 {
+			t.Errorf("non-positive timing in %+v", r)
+		}
+		if r.Hot >= r.Uncached {
+			t.Errorf("k=%d: cache hit (%v) not faster than the solve (%v)", r.K, r.Hot, r.Uncached)
+		}
+	}
+	out := FormatQCache(rows)
+	if !strings.Contains(out, "Kosarak") || !strings.Contains(out, "speedup") {
+		t.Errorf("FormatQCache output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,294 @@
+// Package qcache memoizes marginal reconstructions. A published PriView
+// synopsis is immutable, so every query answer is a pure function of
+// (attribute set, estimator) — the post-processing property (§2 of the
+// paper) guarantees that re-serving a stored answer costs no privacy
+// budget. The cache turns the serving path's dominant cost, a full
+// IPF/Dykstra/simplex solve per request, into a map lookup for repeated
+// queries.
+//
+// Three policies shape the design:
+//
+//   - Bounded LRU: entries are evicted least-recently-used, bounded by
+//     both entry count and approximate bytes, so a high-cardinality
+//     query stream cannot grow the cache without limit.
+//   - Singleflight: N concurrent identical queries run one solve; the
+//     rest wait and share the answer. A leader whose context is
+//     canceled hands off — waiters with live contexts retry (one
+//     becomes the new leader) and the canceled error is never cached
+//     or propagated to them.
+//   - Clean-only: answers produced by the numerical fallback chain
+//     (reconstruct.ErrNumerical) are served to the callers that asked
+//     but never cached, so a transiently degraded answer cannot be
+//     pinned and re-served after the condition clears.
+//
+// Cached tables are immutable inside the cache; every caller receives
+// its own defensive clone, so no caller can corrupt another's answer.
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"priview/internal/marginal"
+	"priview/internal/reconstruct"
+)
+
+// Key identifies one memoizable query: the attribute set as a bitmask
+// (the repo-wide d < 64 invariant, also relied on by
+// internal/consistency's closure computation) plus the estimator,
+// carried as its integer value so this package does not depend on
+// internal/core.
+type Key struct {
+	// Mask has bit a set for each queried attribute a.
+	Mask uint64
+	// Method is the estimator (int value of core.ReconstructMethod).
+	Method int
+}
+
+// KeyFor builds the cache key for a query. ok is false when the query
+// is not maskable — an attribute outside [0, 64) or a duplicate — in
+// which case the caller should bypass the cache rather than conflate
+// distinct queries.
+func KeyFor(attrs []int, method int) (key Key, ok bool) {
+	var m uint64
+	for _, a := range attrs {
+		if a < 0 || a >= 64 {
+			return Key{}, false
+		}
+		bit := uint64(1) << uint(a)
+		if m&bit != 0 {
+			return Key{}, false
+		}
+		m |= bit
+	}
+	return Key{Mask: m, Method: method}, true
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups answered from a stored table.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that ran a solve (became the leader).
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries removed to satisfy the bounds.
+	Evictions uint64 `json:"evictions"`
+	// Coalesced counts waiters that joined another caller's in-flight
+	// solve instead of starting their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Entries is the current entry count.
+	Entries int `json:"entries"`
+	// Bytes is the current approximate memory footprint of the stored
+	// tables.
+	Bytes int64 `json:"bytes"`
+}
+
+// Cache is a bounded, concurrency-safe memoization layer over marginal
+// reconstruction. The zero value is not usable; call New.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu                                 sync.Mutex
+	ll                                 *list.List            // LRU order, front = most recent
+	items                              map[Key]*list.Element // element values are *entry
+	flights                            map[Key]*flight       // in-progress solves
+	bytes                              int64
+	hits, misses, evictions, coalesced uint64
+}
+
+type entry struct {
+	key   Key
+	table *marginal.Table // immutable once stored; cloned on every hit
+	bytes int64
+}
+
+// flight is one in-progress solve. done is closed exactly once, after
+// table/err are set; waiters only read them after <-done.
+type flight struct {
+	done  chan struct{}
+	table *marginal.Table // immutable; cloned per waiter
+	err   error
+}
+
+// New returns a cache bounded by maxEntries stored tables and maxBytes
+// of approximate table memory. A bound ≤ 0 disables that axis; passing
+// both ≤ 0 yields an unbounded cache, which is almost never what a
+// server wants. A single table larger than maxBytes is served but never
+// stored.
+func New(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[Key]*list.Element),
+		flights:    make(map[Key]*flight),
+	}
+}
+
+// Do returns the memoized table for key, or runs compute to produce it.
+// Concurrent calls for the same key are coalesced into one compute; the
+// result is shared (each caller gets its own clone). compute receives
+// the leader's ctx and must honor its cancellation; when the leader is
+// canceled mid-solve, waiting callers whose own contexts are still live
+// retry — one becomes the new leader — so a canceled leader never
+// poisons its followers.
+//
+// Caching policy: only clean results (err == nil, non-nil table) are
+// stored. Degraded answers — compute returning both a table and an
+// error such as reconstruct.ErrNumerical — are passed through to every
+// waiter of that flight but not cached.
+func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (*marginal.Table, error)) (*marginal.Table, error) {
+	for {
+		if err := reconstruct.ContextErr(ctx); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.hits++
+			t := el.Value.(*entry).table
+			c.mu.Unlock()
+			// Safe to clone outside the lock: stored tables are never
+			// mutated, and eviction only drops the reference.
+			return t.Clone(), nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, reconstruct.ContextErr(ctx)
+			case <-f.done:
+			}
+			if canceledErr(f.err) {
+				// The leader gave up before finishing. Our context is
+				// live (or the next loop iteration reports it), so go
+				// around again and take over the solve.
+				continue
+			}
+			if f.table == nil {
+				return nil, f.err
+			}
+			return f.table.Clone(), f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.misses++
+		c.mu.Unlock()
+		return c.lead(ctx, key, f, compute)
+	}
+}
+
+// lead runs compute as the flight's leader and publishes the result to
+// the cache (clean results only) and to the flight's waiters.
+func (c *Cache) lead(ctx context.Context, key Key, f *flight, compute func(context.Context) (*marginal.Table, error)) (t *marginal.Table, err error) {
+	completed := false
+	defer func() {
+		if !completed {
+			// compute panicked. Fail the flight so waiters don't hang,
+			// then let the panic propagate to this caller's recovery.
+			f.err = fmt.Errorf("qcache: leader panicked during compute")
+			c.finish(key, f, nil)
+		}
+	}()
+	t, err = compute(ctx)
+	completed = true
+	var shared *marginal.Table
+	if t != nil {
+		// One immutable copy serves both the cache and the waiters;
+		// the leader's own caller keeps the original, free to mutate.
+		shared = t.Clone()
+	}
+	f.table, f.err = shared, err
+	var store *marginal.Table
+	if err == nil && shared != nil {
+		store = shared
+	}
+	c.finish(key, f, store)
+	return t, err
+}
+
+// finish retires the flight and, when store is non-nil, inserts it as a
+// cache entry. done is closed after the cache state is settled so a
+// released waiter that misses can immediately find the entry.
+func (c *Cache) finish(key Key, f *flight, store *marginal.Table) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	if store != nil {
+		c.addLocked(key, store)
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// addLocked inserts a table (which must never be mutated afterwards)
+// and evicts from the LRU tail until the bounds hold.
+func (c *Cache) addLocked(key Key, t *marginal.Table) {
+	b := approxBytes(t)
+	if c.maxBytes > 0 && b > c.maxBytes {
+		return // larger than the whole budget; serve uncached
+	}
+	if el, ok := c.items[key]; ok {
+		// Possible when a bypassing writer raced a flight; keep the
+		// newer table.
+		old := el.Value.(*entry)
+		c.bytes -= old.bytes
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	e := &entry{key: key, table: t, bytes: b}
+	c.items[key] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	for (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, victim.key)
+		c.bytes -= victim.bytes
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters and current occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Coalesced: c.coalesced,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// Len returns the current number of stored tables.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// approxBytes estimates a table's memory footprint: cells and attrs
+// backing arrays plus slice/struct overhead.
+func approxBytes(t *marginal.Table) int64 {
+	return int64(8*len(t.Cells) + 8*len(t.Attrs) + 64)
+}
+
+// canceledErr reports whether a flight failed because its leader's
+// context ended — the one class of error a waiter must not inherit,
+// because the waiter's own context may still be live.
+func canceledErr(err error) bool {
+	return err != nil && (errors.Is(err, reconstruct.ErrCanceled) ||
+		errors.Is(err, reconstruct.ErrDeadline) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded))
+}

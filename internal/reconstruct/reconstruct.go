@@ -416,17 +416,27 @@ func LinProgContext(ctx context.Context, attrs []int, cons []*marginal.Table) (*
 // exactly on shared projections up to floating-point rounding, so the
 // tolerance collapses the (large) redundant constraint set of CLP while
 // leaving genuinely inconsistent LP constraints untouched.
+//
+// Candidates are bucketed by their attribute set first: marginal.Equal
+// is false for different attribute sets, so only same-set tables can be
+// duplicates and cross-bucket cell comparisons are pure waste. This
+// keeps the pass near-linear for the common CLP pattern of many views
+// projecting onto many distinct subsets, instead of O(n²) full-table
+// compares.
 func dedupeIdentical(cons []*marginal.Table) []*marginal.Table {
-	var out []*marginal.Table
+	out := make([]*marginal.Table, 0, len(cons))
+	buckets := make(map[string][]*marginal.Table, len(cons))
 	for _, c := range cons {
+		k := marginal.Key(c.Attrs)
 		dup := false
-		for _, o := range out {
+		for _, o := range buckets[k] {
 			if marginal.Equal(c, o, 1e-6) {
 				dup = true
 				break
 			}
 		}
 		if !dup {
+			buckets[k] = append(buckets[k], c)
 			out = append(out, c)
 		}
 	}

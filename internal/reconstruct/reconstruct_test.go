@@ -335,3 +335,32 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Errorf("explicit = %d, %v", o.maxIter(), o.tol())
 	}
 }
+
+// TestDedupeIdenticalSemantics pins down the bucketed implementation:
+// near-identical same-set constraints collapse to the first seen,
+// different-set and genuinely different same-set constraints survive,
+// and input order is preserved.
+func TestDedupeIdenticalSemantics(t *testing.T) {
+	a1 := marginal.New([]int{0, 1})
+	a1.Fill(10)
+	a2 := a1.Clone() // exact duplicate
+	a3 := a1.Clone() // duplicate within tolerance
+	a3.Cells[0] += 1e-8
+	a4 := a1.Clone() // same set, different cells
+	a4.Cells[0] += 5
+	b1 := marginal.New([]int{2, 3}) // different set, same cell values
+	b1.Fill(10)
+	got := dedupeIdentical([]*marginal.Table{a1, b1, a2, a4, a3})
+	if len(got) != 3 {
+		t.Fatalf("kept %d constraints, want 3", len(got))
+	}
+	if got[0] != a1 || got[1] != b1 || got[2] != a4 {
+		t.Errorf("kept wrong constraints or lost input order: %v", got)
+	}
+}
+
+func TestDedupeIdenticalEmpty(t *testing.T) {
+	if got := dedupeIdentical(nil); len(got) != 0 {
+		t.Errorf("dedupe(nil) = %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"priview/internal/core"
+	"priview/internal/marginal"
+	"priview/internal/qcache"
+	"priview/internal/reconstruct"
+)
+
+// CacheStatser is implemented by Queriers that maintain a query cache;
+// the /v1/stats endpoint reads it. enabled is false when the underlying
+// querier keeps no cache (e.g. a Swappable currently holding a bare
+// synopsis).
+type CacheStatser interface {
+	CacheStats() (stats qcache.Stats, enabled bool)
+}
+
+// CachedQuerier wraps any Querier with a memoizing qcache layer: a
+// repeated (attrs, method) query is answered from the cache instead of
+// re-running the reconstruction solve, which is sound because a
+// published synopsis is immutable (the paper's post-processing
+// property). Concurrent identical queries are coalesced into one solve.
+//
+// Degraded answers (reconstruct.ErrNumerical) are served but never
+// cached, and queries that cannot be keyed (an attribute ≥ 64 or a
+// duplicate) bypass the cache entirely and hit the inner Querier with
+// their original semantics.
+type CachedQuerier struct {
+	Querier
+	cache *qcache.Cache
+}
+
+// NewCachedQuerier wraps q with the given cache. The cache must not be
+// shared across different synopses: keys carry no synopsis identity, so
+// reusing a cache after the underlying data changes serves stale
+// answers. Hot-reload paths should build a fresh CachedQuerier per
+// loaded synopsis.
+func NewCachedQuerier(q Querier, cache *qcache.Cache) *CachedQuerier {
+	return &CachedQuerier{Querier: q, cache: cache}
+}
+
+// QueryMethodContext implements Querier, serving repeated queries from
+// the cache.
+func (c *CachedQuerier) QueryMethodContext(ctx context.Context, attrs []int, method core.ReconstructMethod) (*marginal.Table, error) {
+	key, ok := qcache.KeyFor(attrs, int(method))
+	if !ok {
+		return c.Querier.QueryMethodContext(ctx, attrs, method)
+	}
+	return c.cache.Do(ctx, key, func(ctx context.Context) (*marginal.Table, error) {
+		return c.Querier.QueryMethodContext(ctx, attrs, method)
+	})
+}
+
+// CacheStats implements CacheStatser.
+func (c *CachedQuerier) CacheStats() (qcache.Stats, bool) {
+	return c.cache.Stats(), true
+}
+
+// Warm precomputes every marginal of 1..k attributes with the default
+// estimator (CME), filling the cache so the first real queries hit.
+// workers ≤ 0 selects GOMAXPROCS. It returns how many marginals were
+// cached cleanly (degraded answers are computed but, per the clean-only
+// policy, not stored) and stops early — returning the context error —
+// if ctx ends. A querier without a design has no known dimension and
+// warms nothing.
+func (c *CachedQuerier) Warm(ctx context.Context, k, workers int) (int, error) {
+	dg := c.Design()
+	if dg == nil || k <= 0 {
+		return 0, nil
+	}
+	d := dg.D
+	if k > d {
+		k = d
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	work := make(chan []int)
+	var warmed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for attrs := range work {
+				if _, err := c.QueryMethodContext(ctx, attrs, core.CME); err == nil {
+					warmed.Add(1)
+				}
+			}
+		}()
+	}
+	// Enumerate subsets of {0..d-1} with 1..k members in lexicographic
+	// order; the channel paces enumeration to the workers.
+	var cur []int
+	var gen func(start int) bool
+	gen = func(start int) bool {
+		if len(cur) > 0 {
+			attrs := append([]int(nil), cur...)
+			select {
+			case work <- attrs:
+			case <-ctx.Done():
+				return false
+			}
+		}
+		if len(cur) == k {
+			return true
+		}
+		for a := start; a < d; a++ {
+			cur = append(cur, a)
+			ok := gen(a + 1)
+			cur = cur[:len(cur)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	gen(0)
+	close(work)
+	wg.Wait()
+	return int(warmed.Load()), reconstruct.ContextErr(ctx)
+}

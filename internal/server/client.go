@@ -20,6 +20,17 @@ import (
 // a wedged server would hang callers forever.
 const DefaultClientTimeout = 30 * time.Second
 
+// Method names accepted by the server's method parameter — all five
+// Fig. 3 estimators implemented by core (matching is case-insensitive;
+// "CMEDUAL" is also accepted for MethodCMEDual).
+const (
+	MethodCME     = "CME"
+	MethodCLN     = "CLN"
+	MethodLP      = "LP"
+	MethodCLP     = "CLP"
+	MethodCMEDual = "CME-dual"
+)
+
 // RetryPolicy controls the client's retry loop for idempotent requests.
 // The zero value selects the defaults noted per field; MaxAttempts = 1
 // disables retrying entirely.
@@ -129,7 +140,7 @@ func (c *Client) InfoContext(ctx context.Context) (*Info, error) {
 }
 
 // Marginal fetches the reconstructed marginal over attrs using the
-// given estimator ("" selects CME).
+// given estimator — one of the Method* constants, or "" for CME.
 func (c *Client) Marginal(attrs []int, method string) (*marginal.Table, error) {
 	return c.MarginalContext(context.Background(), attrs, method)
 }
@@ -157,6 +168,33 @@ func (c *Client) MarginalContext(ctx context.Context, attrs []int, method string
 	}
 	copy(t.Cells, resp.Cells)
 	return t, nil
+}
+
+// CacheStats describes the server's query cache as reported by
+// /v1/stats. Cache is false when the server runs without one.
+type CacheStats struct {
+	Cache     bool   `json:"cache"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Coalesced uint64 `json:"coalesced"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// Stats fetches the server's query-cache counters.
+func (c *Client) Stats() (*CacheStats, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats honoring the caller's deadline across all retry
+// attempts.
+func (c *Client) StatsContext(ctx context.Context) (*CacheStats, error) {
+	var st CacheStats
+	if err := c.getJSON(ctx, "/v1/stats", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // getJSON GETs path and decodes the 200 body into v, retrying transient

@@ -28,6 +28,7 @@ import (
 	"priview/internal/core"
 	"priview/internal/covering"
 	"priview/internal/marginal"
+	"priview/internal/qcache"
 	"priview/internal/reconstruct"
 )
 
@@ -103,6 +104,7 @@ func NewWithOptions(syn Querier, opt Options) *Server {
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/v1/info", s.recovered(http.HandlerFunc(s.handleInfo)))
+	s.mux.Handle("/v1/stats", s.recovered(http.HandlerFunc(s.handleStats)))
 	// Shed before arming the deadline: a request rejected for capacity
 	// should not consume any of its reconstruction budget.
 	s.mux.Handle("/v1/marginal",
@@ -210,6 +212,27 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, resp)
 }
 
+// statsResponse reports the query cache's counters. Cache is false (and
+// the counters zero) when the served Querier maintains no cache.
+type statsResponse struct {
+	Cache bool `json:"cache"`
+	qcache.Stats
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := statsResponse{}
+	if cs, ok := s.syn.(CacheStatser); ok {
+		if st, enabled := cs.CacheStats(); enabled {
+			resp = statsResponse{Cache: true, Stats: st}
+		}
+	}
+	s.writeJSON(w, resp)
+}
+
 // marginalResponse is a reconstructed marginal table. Degraded marks
 // answers produced by the numerical fallback chain (a poisoned view or
 // an unstable solver was bypassed); the cells are finite and usable but
@@ -244,15 +267,9 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	method := core.CME
-	switch strings.ToUpper(r.URL.Query().Get("method")) {
-	case "", "CME":
-	case "CLN":
-		method = core.CLN
-	case "CLP":
-		method = core.CLP
-	default:
-		http.Error(w, "unknown method (want CME, CLN or CLP)", http.StatusBadRequest)
+	method, ok := parseMethod(r.URL.Query().Get("method"))
+	if !ok {
+		http.Error(w, "unknown method (want CME, CLN, LP, CLP or CME-dual)", http.StatusBadRequest)
 		return
 	}
 	// Input is validated; from here every failure is the server's, not
@@ -286,6 +303,25 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		s.opt.Logger.Printf("server: query attrs=%v method=%s failed: %v", attrs, method, err)
 		http.Error(w, "internal error", http.StatusInternalServerError)
 	}
+}
+
+// parseMethod resolves the method query parameter to an estimator. All
+// five Fig. 3 estimators implemented by core are accepted; matching is
+// case-insensitive and CME-dual is also spellable without the hyphen.
+func parseMethod(raw string) (core.ReconstructMethod, bool) {
+	switch strings.ToUpper(raw) {
+	case "", "CME":
+		return core.CME, true
+	case "CLN":
+		return core.CLN, true
+	case "LP":
+		return core.LP, true
+	case "CLP":
+		return core.CLP, true
+	case "CMEDUAL", "CME-DUAL":
+		return core.CMEDual, true
+	}
+	return core.CME, false
 }
 
 func parseAttrs(raw string) ([]int, error) {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -88,15 +89,40 @@ func TestMarginalQuery(t *testing.T) {
 
 func TestMarginalMethodSelection(t *testing.T) {
 	s, _ := testServer(t)
-	for _, m := range []string{"CME", "CLN", "CLP", "cme"} {
+	// All five Fig. 3 estimators implemented by core must be servable,
+	// case-insensitively, with CME-dual spellable both ways.
+	accepted := map[string]string{
+		"CME":      "CME",
+		"cme":      "CME",
+		"CLN":      "CLN",
+		"LP":       "LP",
+		"CLP":      "CLP",
+		"CME-dual": "CME-dual",
+		"CMEDUAL":  "CME-dual",
+		"cme-DUAL": "CME-dual",
+	}
+	for m, want := range accepted {
 		rec := get(t, s, "/v1/marginal?attrs=0,5&method="+m)
 		if rec.Code != http.StatusOK {
 			t.Errorf("method %s: status %d: %s", m, rec.Code, rec.Body.String())
+			continue
+		}
+		var resp struct {
+			Method string `json:"method"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Method != want {
+			t.Errorf("method %s: served as %q, want %q", m, resp.Method, want)
 		}
 	}
-	rec := get(t, s, "/v1/marginal?attrs=0,5&method=LP")
+	rec := get(t, s, "/v1/marginal?attrs=0,5&method=nope")
 	if rec.Code != http.StatusBadRequest {
-		t.Errorf("LP (raw views, not servable) accepted: %d", rec.Code)
+		t.Fatalf("unknown method accepted: %d", rec.Code)
+	}
+	if got := strings.TrimSpace(rec.Body.String()); got != "unknown method (want CME, CLN, LP, CLP or CME-dual)" {
+		t.Errorf("error text = %q must name every accepted method", got)
 	}
 }
 

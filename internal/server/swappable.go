@@ -7,6 +7,7 @@ import (
 	"priview/internal/core"
 	"priview/internal/covering"
 	"priview/internal/marginal"
+	"priview/internal/qcache"
 )
 
 // Swappable is a Querier whose backing synopsis can be replaced
@@ -51,3 +52,12 @@ func (s *Swappable) Views() []*marginal.Table { return s.Current().Views() }
 
 // Design implements Querier.
 func (s *Swappable) Design() *covering.Design { return s.Current().Design() }
+
+// CacheStats implements CacheStatser by delegating to the current
+// querier; enabled is false when it maintains no cache.
+func (s *Swappable) CacheStats() (qcache.Stats, bool) {
+	if cs, ok := s.Current().(CacheStatser); ok {
+		return cs.CacheStats()
+	}
+	return qcache.Stats{}, false
+}
