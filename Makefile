@@ -14,8 +14,8 @@ vet:
 	$(GO) vet ./...
 
 # priview-lint is this repo's own static-analysis gate: randsource,
-# floatcmp, errdiscard, panicmsg. See DESIGN.md "Static analysis &
-# invariants" and `go run ./cmd/priview-lint -list`.
+# floatcmp, errdiscard, panicmsg, attrset. See DESIGN.md "Static
+# analysis & invariants" and `go run ./cmd/priview-lint -list`.
 lint:
 	$(GO) run ./cmd/priview-lint ./...
 
@@ -35,14 +35,19 @@ race:
 chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/server/ ./internal/qcache/ ./cmd/priview-serve/
 
-# The query-cache benchmarks: cached vs uncached reconstruction at the
-# qcache and HTTP layers, plus the constraint-dedup pass. Reference
-# numbers live in BENCH_qcache.json; see DESIGN.md §9.
+# The query-cache benchmarks (cached vs uncached reconstruction at the
+# qcache and HTTP layers) plus the attrset before/after suite (pairwise
+# set scan, intersection closure, constraint dedupe, solver hot-loop
+# projection — each Old/New pair in the same binary). Reference numbers
+# live in BENCH_qcache.json and BENCH_attrset.json; see DESIGN.md §9
+# and §10.
 BENCHTIME ?= 1s
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkQueryCached|BenchmarkQueryUncached' -benchmem -benchtime=$(BENCHTIME) ./internal/qcache/
 	$(GO) test -run='^$$' -bench='BenchmarkServerMarginal' -benchmem -benchtime=$(BENCHTIME) ./internal/server/
 	$(GO) test -run='^$$' -bench='BenchmarkDedupeIdentical' -benchmem -benchtime=$(BENCHTIME) ./internal/reconstruct/
+	$(GO) test -run='^$$' -bench='BenchmarkPairwiseScan|BenchmarkIntersectionClosure|BenchmarkFromAttrs' -benchmem -benchtime=$(BENCHTIME) ./internal/attrset/
+	$(GO) test -run='^$$' -bench='BenchmarkHotLoopProjection' -benchmem -benchtime=$(BENCHTIME) ./internal/marginal/
 
 # Short coverage-guided fuzz runs over the untrusted-input decoders:
 # snapshot container parsing and the audit-over-load pipeline. Ten

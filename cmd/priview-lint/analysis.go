@@ -27,6 +27,7 @@ var analyzers = []*Analyzer{
 	floatcmpAnalyzer,
 	errdiscardAnalyzer,
 	panicmsgAnalyzer,
+	attrsetAnalyzer,
 }
 
 // Pass carries one package's syntax and type information to an

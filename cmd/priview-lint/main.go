@@ -1,6 +1,6 @@
 // Command priview-lint is the repository's static-analysis gate. It
 // loads and type-checks every package named on the command line and
-// runs four repo-specific analyzers that enforce invariants the Go
+// runs five repo-specific analyzers that enforce invariants the Go
 // compiler cannot see:
 //
 //	randsource  privacy-critical randomness must flow through
@@ -10,6 +10,8 @@
 //	errdiscard  no silently discarded error returns in library code
 //	panicmsg    panics in internal/* must carry a "pkg:" prefix so
 //	            accounting failures are attributable
+//	attrset     attribute-set bitmasks must be built with
+//	            internal/attrset, not hand-rolled 1<<attr loops
 //
 // A finding can be suppressed, with a mandatory written rationale, by a
 // comment on the offending line or the line above:

@@ -1,0 +1,178 @@
+package attrset_test
+
+// Before/after benchmarks for the attrset unification. The "Old"
+// variants are verbatim copies of the retired implementations (sorted
+// []int slice walks and the consistency package's private uint64
+// closure), kept here so old and new run in the same binary on the same
+// inputs — the honest way to compare. Results are recorded in
+// BENCH_attrset.json at the repo root.
+
+import (
+	"math/bits"
+	"sort"
+	"testing"
+
+	"priview/internal/attrset"
+	"priview/internal/covering"
+	"priview/internal/marginal"
+)
+
+// benchSets returns the attribute blocks of a realistic design — the
+// inputs every retired slice implementation actually saw.
+func benchSets() [][]int {
+	return covering.Groups(32, 8).Blocks
+}
+
+// --- pairwise subset/intersect scan (the audit + closure grouping op)
+
+func BenchmarkPairwiseScanSliceOld(b *testing.B) {
+	blocks := benchSets()
+	b.ReportAllocs()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for x := 0; x < len(blocks); x++ {
+			for y := 0; y < len(blocks); y++ {
+				if marginal.Subset(blocks[x], blocks[y]) {
+					n++
+				}
+				if len(marginal.Intersect(blocks[x], blocks[y])) > 0 {
+					n++
+				}
+			}
+		}
+	}
+	_ = n
+}
+
+func BenchmarkPairwiseScanMaskNew(b *testing.B) {
+	blocks := benchSets()
+	masks := make([]attrset.Set, len(blocks))
+	for i, bl := range blocks {
+		masks[i] = attrset.MustFromAttrs(bl)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for x := 0; x < len(masks); x++ {
+			for y := 0; y < len(masks); y++ {
+				if masks[x].Subset(masks[y]) {
+					n++
+				}
+				if !masks[x].Intersect(masks[y]).Empty() {
+					n++
+				}
+			}
+		}
+	}
+	_ = n
+}
+
+// --- intersection closure (the consistency pass preamble)
+
+// oldClosure is the consistency package's retired private pipeline:
+// slice→mask conversion, uint64 fixpoint, filter, sort, mask→slice.
+func oldClosure(blocks [][]int) [][]int {
+	viewMasks := make([]uint64, len(blocks))
+	for i, attrs := range blocks {
+		var m uint64
+		for _, a := range attrs {
+			//lint:ignore attrset verbatim copy of the retired implementation, kept as the benchmark baseline
+			m |= 1 << uint(a)
+		}
+		viewMasks[i] = m
+	}
+	closure := map[uint64]struct{}{}
+	var members, work []uint64
+	push := func(m uint64) {
+		if _, ok := closure[m]; !ok {
+			closure[m] = struct{}{}
+			members = append(members, m)
+			work = append(work, m)
+		}
+	}
+	push(0)
+	for _, vm := range viewMasks {
+		push(vm)
+	}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for i := 0; i < len(members); i++ {
+			push(cur & members[i])
+		}
+	}
+	out := make([]uint64, 0, len(closure))
+	for m := range closure {
+		if m == 0 {
+			out = append(out, m)
+			continue
+		}
+		n := 0
+		for _, vm := range viewMasks {
+			if m&vm == m {
+				n++
+				if n == 2 {
+					break
+				}
+			}
+		}
+		if n >= 2 {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := bits.OnesCount64(out[i]), bits.OnesCount64(out[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i] < out[j]
+	})
+	sets := make([][]int, len(out))
+	for i, m := range out {
+		attrs := make([]int, 0, bits.OnesCount64(m))
+		for m != 0 {
+			attrs = append(attrs, bits.TrailingZeros64(m))
+			m &= m - 1
+		}
+		sets[i] = attrs
+	}
+	return sets
+}
+
+func BenchmarkIntersectionClosureOld(b *testing.B) {
+	blocks := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		oldClosure(blocks)
+	}
+}
+
+func BenchmarkIntersectionClosureNew(b *testing.B) {
+	blocks := benchSets()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		masks := make([]attrset.Set, len(blocks))
+		for j, bl := range blocks {
+			masks[j] = attrset.MustFromAttrs(bl)
+		}
+		sets := attrset.IntersectionClosure(masks)
+		out := make([][]int, len(sets))
+		for j, m := range sets {
+			out[j] = m.Attrs()
+		}
+		_ = out
+	}
+}
+
+// --- FromAttrs vs the naive pack loop (the boundary cost)
+
+func BenchmarkFromAttrs(b *testing.B) {
+	attrs := []int{0, 3, 7, 12, 19, 25, 31, 40}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := attrset.FromAttrs(attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -289,10 +289,11 @@ func Check(s Synopsis, opt Options) *Report {
 			if !usable[j] {
 				continue
 			}
-			shared := marginal.Intersect(views[i].Attrs, views[j].Attrs)
-			if len(shared) == 0 {
+			sharedMask := views[i].Mask().Intersect(views[j].Mask())
+			if sharedMask.Empty() {
 				continue
 			}
+			shared := sharedMask.Attrs()
 			r.Pairs++
 			gap := marginal.MaxAbsDiff(views[i].Project(shared), views[j].Project(shared))
 			if gap > opt.ConsistencyTol {

@@ -1,8 +1,7 @@
 package categorical
 
 import (
-	"math/bits"
-	"sort"
+	"priview/internal/attrset"
 )
 
 // MutualOnSet enforces consistency of the views on attribute set a
@@ -43,95 +42,30 @@ func applyEstimate(view, est, proj *Table) {
 
 // Overall makes all views mutually consistent by processing the
 // intersection closure of their attribute sets in subset order, as in
-// the binary implementation.
+// the binary implementation. The closure is the shared
+// attrset.IntersectionClosure kernel — this package previously carried
+// a private copy of the mask/closure machinery, now retired.
 func Overall(views []*Table) {
 	if len(views) < 2 {
 		return
 	}
-	masks := make([]uint64, len(views))
+	masks := make([]attrset.Set, len(views))
 	for i, v := range views {
-		masks[i] = attrsToMask(v.Attrs)
+		masks[i] = attrset.MustFromAttrs(v.Attrs)
 	}
-	sets := closure(masks)
+	sets := attrset.IntersectionClosure(masks)
 	group := make([]*Table, 0, len(views))
 	for _, m := range sets {
 		group = group[:0]
 		for i, vm := range masks {
-			if m&vm == m {
+			if m.Subset(vm) {
 				group = append(group, views[i])
 			}
 		}
 		if len(group) >= 2 {
-			MutualOnSet(group, maskToAttrs(m))
+			MutualOnSet(group, m.Attrs())
 		}
 	}
-}
-
-func attrsToMask(attrs []int) uint64 {
-	var m uint64
-	for _, a := range attrs {
-		m |= 1 << uint(a)
-	}
-	return m
-}
-
-func maskToAttrs(m uint64) []int {
-	out := make([]int, 0, bits.OnesCount64(m))
-	for m != 0 {
-		out = append(out, bits.TrailingZeros64(m))
-		m &= m - 1
-	}
-	return out
-}
-
-func closure(masks []uint64) []uint64 {
-	set := map[uint64]struct{}{}
-	var members, work []uint64
-	push := func(m uint64) {
-		if _, ok := set[m]; !ok {
-			set[m] = struct{}{}
-			members = append(members, m)
-			work = append(work, m)
-		}
-	}
-	push(0)
-	for _, m := range masks {
-		push(m)
-	}
-	for len(work) > 0 {
-		cur := work[len(work)-1]
-		work = work[:len(work)-1]
-		for i := 0; i < len(members); i++ {
-			push(cur & members[i])
-		}
-	}
-	out := make([]uint64, 0, len(set))
-	for m := range set {
-		if m == 0 {
-			out = append(out, m)
-			continue
-		}
-		n := 0
-		for _, vm := range masks {
-			if m&vm == m {
-				n++
-				if n == 2 {
-					break
-				}
-			}
-		}
-		if n >= 2 {
-			out = append(out, m)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := bits.OnesCount64(out[i]), bits.OnesCount64(out[j])
-		if pi != pj {
-			return pi < pj
-		}
-		return out[i] < out[j]
-	})
-	return out
 }
 
 // IsPairwiseConsistent reports whether all views agree on projections

@@ -6,10 +6,7 @@
 package consistency
 
 import (
-	"fmt"
-	"math/bits"
-	"sort"
-
+	"priview/internal/attrset"
 	"priview/internal/marginal"
 )
 
@@ -79,9 +76,11 @@ func VarianceWeights(views []*marginal.Table) []float64 {
 
 // applyEstimate updates view so its projection on est.Attrs equals est,
 // distributing each cell's correction evenly over the view cells that
-// project to it: T(c) += (est(a) − proj(a)) / 2^{|V|−|A|}.
+// project to it: T(c) += (est(a) − proj(a)) / 2^{|V|−|A|}. The cell
+// mapping is precomputed once (RestrictIndices), so the sweep over the
+// view is two array loads per cell.
 func applyEstimate(view, est, proj *marginal.Table) {
-	pos := view.Positions(est.Attrs)
+	ridx := view.RestrictIndices(est.Attrs)
 	share := 1 / float64(int(1)<<uint(view.Dim()-est.Dim()))
 	// Precompute per-restricted-index correction.
 	corr := make([]float64, len(est.Cells))
@@ -89,7 +88,7 @@ func applyEstimate(view, est, proj *marginal.Table) {
 		corr[i] = (est.Cells[i] - proj.Cells[i]) * share
 	}
 	for c := range view.Cells {
-		view.Cells[c] += corr[marginal.RestrictIndex(c, pos)]
+		view.Cells[c] += corr[ridx[c]]
 	}
 }
 
@@ -101,8 +100,10 @@ func applyEstimate(view, est, proj *marginal.Table) {
 // MutualOnSet for each closure set over the views containing it. By
 // Lemma 1, later steps never invalidate earlier ones.
 //
-// Attribute indices must be below 64 (the dataset package's limit): the
-// closure computation packs attribute sets into machine words.
+// Attribute sets are manipulated as attrset masks throughout; the
+// d < 64 invariant they rely on is enforced when the tables are built
+// (marginal.New) and, with typed errors, at the core.Config and
+// dataset input boundaries — not here.
 func Overall(views []*marginal.Table) {
 	overall(views, false)
 }
@@ -119,108 +120,27 @@ func overall(views []*marginal.Table, weighted bool) {
 	if len(views) < 2 {
 		return
 	}
-	viewMasks := make([]uint64, len(views))
+	viewMasks := make([]attrset.Set, len(views))
 	for i, v := range views {
-		viewMasks[i] = attrsToMask(v.Attrs)
+		viewMasks[i] = v.Mask()
 	}
-	sets := intersectionClosure(viewMasks)
+	sets := attrset.IntersectionClosure(viewMasks)
 	group := make([]*marginal.Table, 0, len(views))
 	for _, mask := range sets {
 		group = group[:0]
 		for i, vm := range viewMasks {
-			if mask&vm == mask {
+			if mask.Subset(vm) {
 				group = append(group, views[i])
 			}
 		}
 		if len(group) >= 2 {
 			if weighted {
-				MutualOnSetWeighted(group, maskToAttrs(mask), VarianceWeights(group))
+				MutualOnSetWeighted(group, mask.Attrs(), VarianceWeights(group))
 			} else {
-				MutualOnSet(group, maskToAttrs(mask))
+				MutualOnSet(group, mask.Attrs())
 			}
 		}
 	}
-}
-
-func attrsToMask(attrs []int) uint64 {
-	var m uint64
-	for _, a := range attrs {
-		if a < 0 || a >= 64 {
-			panic(fmt.Sprintf("consistency: attribute %d out of mask range", a))
-		}
-		m |= 1 << uint(a)
-	}
-	return m
-}
-
-func maskToAttrs(mask uint64) []int {
-	attrs := make([]int, 0, bits.OnesCount64(mask))
-	for mask != 0 {
-		b := bits.TrailingZeros64(mask)
-		attrs = append(attrs, b)
-		mask &= mask - 1
-	}
-	return attrs
-}
-
-// intersectionClosure returns every attribute set expressible as an
-// intersection of one or more view sets, as bitmasks, always including
-// the empty set (total-count consistency). The result is sorted by
-// popcount ascending (ties by numeric value), a valid topological order
-// of the subset relation. Only sets contained in at least two views are
-// kept (others have nothing to reconcile), except ∅ which is kept
-// unconditionally.
-func intersectionClosure(viewMasks []uint64) []uint64 {
-	closure := map[uint64]struct{}{}
-	var members, work []uint64
-	push := func(m uint64) {
-		if _, ok := closure[m]; !ok {
-			closure[m] = struct{}{}
-			members = append(members, m)
-			work = append(work, m)
-		}
-	}
-	push(0)
-	for _, vm := range viewMasks {
-		push(vm)
-	}
-	// Fixpoint: intersect every work item against all known members.
-	// Members only grow, and every pair is eventually intersected, so
-	// the result is closed under intersection.
-	for len(work) > 0 {
-		cur := work[len(work)-1]
-		work = work[:len(work)-1]
-		for i := 0; i < len(members); i++ {
-			push(cur & members[i])
-		}
-	}
-	out := make([]uint64, 0, len(closure))
-	for m := range closure {
-		if m == 0 {
-			out = append(out, m)
-			continue
-		}
-		n := 0
-		for _, vm := range viewMasks {
-			if m&vm == m {
-				n++
-				if n == 2 {
-					break
-				}
-			}
-		}
-		if n >= 2 {
-			out = append(out, m)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := bits.OnesCount64(out[i]), bits.OnesCount64(out[j])
-		if pi != pj {
-			return pi < pj
-		}
-		return out[i] < out[j]
-	})
-	return out
 }
 
 // IsPairwiseConsistent reports whether every pair of views agrees on the
@@ -228,7 +148,7 @@ func intersectionClosure(viewMasks []uint64) []uint64 {
 func IsPairwiseConsistent(views []*marginal.Table, tol float64) bool {
 	for i := 0; i < len(views); i++ {
 		for j := i + 1; j < len(views); j++ {
-			common := marginal.Intersect(views[i].Attrs, views[j].Attrs)
+			common := views[i].Mask().Intersect(views[j].Mask()).Attrs()
 			pi := views[i].Project(common)
 			pj := views[j].Project(common)
 			if !marginal.Equal(pi, pj, tol) {

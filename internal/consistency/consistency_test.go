@@ -1,11 +1,13 @@
 package consistency
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"priview/internal/attrset"
 	"priview/internal/marginal"
 	"priview/internal/noise"
 )
@@ -193,59 +195,45 @@ func TestOverallImprovesAccuracy(t *testing.T) {
 }
 
 func TestIntersectionClosureContainsPairwise(t *testing.T) {
-	masks := []uint64{
-		attrsToMask([]int{0, 1, 2}),
-		attrsToMask([]int{1, 2, 3}),
-		attrsToMask([]int{2, 3, 4}),
+	masks := []attrset.Set{
+		attrset.Of(0, 1, 2),
+		attrset.Of(1, 2, 3),
+		attrset.Of(2, 3, 4),
 	}
-	sets := intersectionClosure(masks)
-	found := map[uint64]bool{}
+	sets := attrset.IntersectionClosure(masks)
+	found := map[attrset.Set]bool{}
 	for _, s := range sets {
 		found[s] = true
 	}
 	// Pairwise intersections contained in ≥2 views, plus ∅.
-	for _, want := range [][]int{{1, 2}, {2, 3}, {2}, nil} {
-		if !found[attrsToMask(want)] {
+	for _, want := range []attrset.Set{attrset.Of(1, 2), attrset.Of(2, 3), attrset.Of(2), 0} {
+		if !found[want] {
 			t.Errorf("closure missing %v (have %v)", want, sets)
 		}
 	}
 	// Sorted ascending by size.
 	for i := 1; i < len(sets); i++ {
-		if popcount64(sets[i]) < popcount64(sets[i-1]) {
+		if sets[i].Card() < sets[i-1].Card() {
 			t.Error("closure not sorted by size")
 		}
 	}
 }
 
-func popcount64(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
+func TestOutOfRangeAttributeRejectedAtTableBoundary(t *testing.T) {
+	// The old attrsToMask panicked deep inside the consistency pass on
+	// attribute indices ≥ 64. The d < 64 invariant is now enforced when
+	// the table is built — a view over attribute 64 can never reach
+	// Overall — and surfaces as a typed attrset error at the input
+	// boundaries (core.Config.Validate, core.Load).
+	if _, err := attrset.FromAttrs([]int{64}); !errors.Is(err, attrset.ErrRange) {
+		t.Fatalf("FromAttrs(64) error = %v, want attrset.ErrRange", err)
 	}
-	return n
-}
-
-func TestMaskRoundTrip(t *testing.T) {
-	attrs := []int{0, 5, 17, 63}
-	got := maskToAttrs(attrsToMask(attrs))
-	if len(got) != len(attrs) {
-		t.Fatalf("round trip = %v", got)
-	}
-	for i := range attrs {
-		if got[i] != attrs[i] {
-			t.Fatalf("round trip = %v, want %v", got, attrs)
-		}
-	}
-}
-
-func TestAttrsToMaskRejectsOutOfRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for attribute 64")
+			t.Fatal("expected marginal.New to panic for attribute 64")
 		}
 	}()
-	attrsToMask([]int{64})
+	marginal.New([]int{64})
 }
 
 func TestRippleClearsNegatives(t *testing.T) {

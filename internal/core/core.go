@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 
+	"priview/internal/attrset"
 	"priview/internal/consistency"
 	"priview/internal/covering"
 	"priview/internal/dataset"
@@ -116,6 +117,46 @@ type Config struct {
 	NoNoise bool
 }
 
+// Typed configuration errors, matched with errors.Is. Validate returns
+// them (possibly wrapped with position detail); BuildSynopsis panics
+// with the same messages for backward compatibility with callers that
+// treat a bad Config as a programming error.
+var (
+	// ErrConfigDesign reports a missing covering design.
+	ErrConfigDesign = errors.New("core: Config.Design is required")
+	// ErrConfigEpsilon reports a non-positive privacy budget on a noisy
+	// build.
+	ErrConfigEpsilon = errors.New("core: Config.Epsilon must be positive")
+	// ErrConfigDelta reports a Gaussian build without a usable δ.
+	ErrConfigDelta = errors.New("core: GaussianNoise requires Delta in (0,1)")
+)
+
+// Validate checks the configuration without building anything: the
+// design and budget requirements, and — the repo-wide d < 64 invariant,
+// enforced here at the boundary instead of by a panic deep inside the
+// consistency or table layers — that every design block packs into an
+// attrset (attributes in [0, 64), no duplicates). Errors wrap the typed
+// sentinels above and attrset.ErrRange/ErrDuplicate for errors.Is.
+func (c Config) Validate() error {
+	if c.Design == nil {
+		return ErrConfigDesign
+	}
+	if !c.NoNoise {
+		if c.Epsilon <= 0 {
+			return ErrConfigEpsilon
+		}
+		if c.Noise == GaussianNoise && !(c.Delta > 0 && c.Delta < 1) {
+			return ErrConfigDelta
+		}
+	}
+	for i, block := range c.Design.Blocks {
+		if _, err := attrset.FromAttrs(block); err != nil {
+			return fmt.Errorf("core: design block %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 func (c Config) nonnegRounds() int {
 	if c.NonnegRounds <= 0 {
 		return 1
@@ -145,11 +186,9 @@ type Synopsis struct {
 // operates on the noisy views. The noise source determines the Laplace
 // draws; pass a seeded stream for reproducible experiments.
 func BuildSynopsis(data *dataset.Dataset, cfg Config, src noise.Source) *Synopsis {
-	if cfg.Design == nil {
-		panic("core: Config.Design is required")
-	}
-	if !cfg.NoNoise && cfg.Epsilon <= 0 {
-		panic("core: Config.Epsilon must be positive")
+	if err := cfg.Validate(); err != nil {
+		//lint:ignore panicmsg every Config.Validate error is built from a "core:"-prefixed sentinel
+		panic(err.Error())
 	}
 	if cfg.Design.D != data.Dim() {
 		panic(fmt.Sprintf("core: design over %d attributes, dataset has %d", cfg.Design.D, data.Dim()))

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"priview/internal/attrset"
 	"priview/internal/covering"
 	"priview/internal/marginal"
 )
@@ -133,9 +134,10 @@ func Load(r io.Reader) (*Synopsis, error) {
 		return nil, err
 	}
 	views := make([]*marginal.Table, len(f.Views))
-	seen := map[string]int{}
+	seen := map[attrset.Set]int{}
 	for i, vf := range f.Views {
-		if err := validAttrs(vf.Attrs, design); err != nil {
+		key, err := validAttrs(vf.Attrs, design)
+		if err != nil {
 			return nil, fmt.Errorf("core: view %d: %w", i, err)
 		}
 		// Check the declared cell count BEFORE allocating the table, so
@@ -149,7 +151,6 @@ func Load(r io.Reader) (*Synopsis, error) {
 				return nil, fmt.Errorf("%w: view %d cell %d is %v", ErrNonFinite, i, j, c)
 			}
 		}
-		key := marginal.Key(vf.Attrs)
 		if prev, dup := seen[key]; dup {
 			return nil, fmt.Errorf("core: views %d and %d both cover attributes %v", prev, i, vf.Attrs)
 		}
@@ -172,25 +173,28 @@ func Load(r io.Reader) (*Synopsis, error) {
 // cells and cannot be a real view.
 const maxLoadAttrs = 30
 
-// validAttrs checks a view attribute list: strictly ascending, within
-// the global attribute-index range, inside the design's dimensionality
-// when a design is present, and small enough to index a table.
-func validAttrs(attrs []int, design *covering.Design) error {
+// validAttrs checks a view attribute list — strictly ascending, within
+// the global [0, 64) range (attrset's typed ErrRange/ErrDuplicate),
+// inside the design's dimensionality when a design is present, and
+// small enough to index a table — and returns the packed set, which
+// Load uses as the duplicate-view key.
+func validAttrs(attrs []int, design *covering.Design) (attrset.Set, error) {
 	if len(attrs) > maxLoadAttrs {
-		return fmt.Errorf("has %d attributes, max %d", len(attrs), maxLoadAttrs)
+		return 0, fmt.Errorf("has %d attributes, max %d", len(attrs), maxLoadAttrs)
+	}
+	key, err := attrset.FromAttrs(attrs)
+	if err != nil {
+		return 0, err
 	}
 	for i, a := range attrs {
-		if a < 0 || a >= 64 {
-			return fmt.Errorf("attribute %d out of range [0, 64)", a)
-		}
 		if design != nil && a >= design.D {
-			return fmt.Errorf("attribute %d outside design over %d attributes", a, design.D)
+			return 0, fmt.Errorf("attribute %d outside design over %d attributes", a, design.D)
 		}
 		if i > 0 && a <= attrs[i-1] {
-			return fmt.Errorf("attributes %v not strictly ascending", attrs)
+			return 0, fmt.Errorf("attributes %v not strictly ascending", attrs)
 		}
 	}
-	return nil
+	return key, nil
 }
 
 // loadDesign validates and builds the covering design from its file

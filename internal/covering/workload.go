@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"priview/internal/attrset"
 	"priview/internal/noise"
 )
 
@@ -21,25 +22,29 @@ import (
 // covered by any single view and should be reconstructed via maximum
 // entropy from a standard covering design instead.
 func WorkloadCover(d, l int, workload [][]int, rng *noise.Stream) (*Design, error) {
+	if d < 1 || d > attrset.MaxAttr {
+		return nil, fmt.Errorf("covering: dimension d=%d outside [1, %d]: %w", d, attrset.MaxAttr, attrset.ErrRange)
+	}
 	if l < 1 || l > d {
 		return nil, fmt.Errorf("covering: invalid block size ℓ=%d for d=%d", l, d)
 	}
-	sets := make([][]int, 0, len(workload))
+	sets := make([]attrset.Set, 0, len(workload))
 	for wi, w := range workload {
-		s := append([]int(nil), w...)
-		sort.Ints(s)
-		for i, a := range s {
-			if a < 0 || a >= d {
+		s, err := attrset.FromAttrs(w)
+		if err != nil {
+			// Input boundary: surfaces attrset.ErrRange / ErrDuplicate
+			// wrapped with the offending set's index.
+			return nil, fmt.Errorf("covering: workload set %d: %w", wi, err)
+		}
+		for _, a := range s.Attrs() {
+			if a >= d {
 				return nil, fmt.Errorf("covering: workload set %d has out-of-range attribute %d", wi, a)
 			}
-			if i > 0 && s[i] == s[i-1] {
-				return nil, fmt.Errorf("covering: workload set %d has duplicate attribute %d", wi, a)
-			}
 		}
-		if len(s) > l {
-			return nil, fmt.Errorf("covering: workload set %d has %d attributes, block size is %d", wi, len(s), l)
+		if s.Card() > l {
+			return nil, fmt.Errorf("covering: workload set %d has %d attributes, block size is %d", wi, s.Card(), l)
 		}
-		if len(s) > 0 {
+		if !s.Empty() {
 			sets = append(sets, s)
 		}
 	}
@@ -48,107 +53,66 @@ func WorkloadCover(d, l int, workload [][]int, rng *noise.Stream) (*Design, erro
 	if rng != nil {
 		rng.Shuffle(len(sets), func(i, j int) { sets[i], sets[j] = sets[j], sets[i] })
 	}
-	sort.SliceStable(sets, func(i, j int) bool { return len(sets[i]) > len(sets[j]) })
+	sort.SliceStable(sets, func(i, j int) bool { return sets[i].Card() > sets[j].Card() })
 
-	var blocks [][]int
+	var blocks []attrset.Set
 	for _, s := range sets {
-		if coveredByAny(blocks, s) {
+		covered := false
+		for _, b := range blocks {
+			if s.Subset(b) {
+				covered = true
+				break
+			}
+		}
+		if covered {
 			continue
 		}
 		// Best existing block: union fits in ℓ and overlap is maximal.
 		best, bestOverlap := -1, -1
 		for bi, b := range blocks {
-			u := unionSize(b, s)
-			if u > l {
+			if b.Union(s).Card() > l {
 				continue
 			}
-			overlap := len(b) + len(s) - u
-			if overlap > bestOverlap {
+			if overlap := b.Intersect(s).Card(); overlap > bestOverlap {
 				bestOverlap, best = overlap, bi
 			}
 		}
 		if best >= 0 {
-			blocks[best] = unionSorted(blocks[best], s)
+			blocks[best] = blocks[best].Union(s)
 		} else {
-			blocks = append(blocks, append([]int(nil), s...))
+			blocks = append(blocks, s)
 		}
 	}
 	// Cover leftover attributes so the design is total (T=1).
-	present := make([]bool, d)
+	var present attrset.Set
 	for _, b := range blocks {
-		for _, a := range b {
-			present[a] = true
-		}
+		present = present.Union(b)
 	}
 	for a := 0; a < d; a++ {
-		if present[a] {
+		if present.Contains(a) {
 			continue
 		}
 		placed := false
 		for bi, b := range blocks {
-			if len(b) < l {
-				blocks[bi] = unionSorted(b, []int{a})
+			if b.Card() < l {
+				blocks[bi] = b.Union(attrset.Of(a))
 				placed = true
 				break
 			}
 		}
 		if !placed {
-			blocks = append(blocks, []int{a})
+			blocks = append(blocks, attrset.Of(a))
 		}
 	}
-	dg := &Design{D: d, T: 1, L: l, Blocks: blocks}
+	blockAttrs := make([][]int, len(blocks))
+	for i, b := range blocks {
+		blockAttrs[i] = b.Attrs()
+	}
+	dg := &Design{D: d, T: 1, L: l, Blocks: blockAttrs}
 	if err := dg.Verify(); err != nil {
 		return nil, fmt.Errorf("covering: workload cover construction bug: %w", err)
 	}
 	return dg, nil
-}
-
-func coveredByAny(blocks [][]int, s []int) bool {
-	for _, b := range blocks {
-		if containsAll(b, s) {
-			return true
-		}
-	}
-	return false
-}
-
-func unionSize(a, b []int) int {
-	i, j, n := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			i++
-			j++
-		}
-		n++
-	}
-	return n + (len(a) - i) + (len(b) - j)
-}
-
-func unionSorted(a, b []int) []int {
-	out := make([]int, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
 }
 
 // BestWorkloadCover runs several shuffled packings and returns the one

@@ -89,6 +89,7 @@ func AOL(n int, seed int64) *dataset.Dataset {
 			topic := topics[rng.Intn(len(topics))]
 			for _, c := range topic {
 				if rng.Float64() < 0.65 {
+					//lint:ignore attrset record bit-packing of a sampled topic, not an attribute-set value
 					rec |= 1 << uint(c)
 				}
 			}

@@ -61,3 +61,40 @@ func BenchmarkRestrictIndex(b *testing.B) {
 	}
 	_ = s
 }
+
+// The solver hot loop, before and after the attrset refactor: every
+// IPF/Dykstra/dual-ascent cycle projects the working table onto each
+// constraint's attribute set. Old shape: per-cell bit-gather
+// (RestrictIndex over a pos slice). New shape: mapping precomputed once
+// (RestrictIndices), the loop is one array load per cell (ProjectInto).
+// The precompute is amortized over hundreds of solver iterations, so
+// the benchmarks compare steady-state iteration cost and hoist it.
+
+func BenchmarkHotLoopProjectionOld(b *testing.B) {
+	t := benchTable(12) // 4096 cells
+	sub := []int{0, 8, 14}
+	pos := t.Positions(sub)
+	proj := make([]float64, 1<<uint(len(sub)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range proj {
+			proj[j] = 0
+		}
+		for ci, v := range t.Cells {
+			proj[RestrictIndex(ci, pos)] += v
+		}
+	}
+}
+
+func BenchmarkHotLoopProjectionNew(b *testing.B) {
+	t := benchTable(12)
+	sub := []int{0, 8, 14}
+	ridx := t.RestrictIndices(sub)
+	proj := make([]float64, 1<<uint(len(sub)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.ProjectInto(proj, ridx)
+	}
+}

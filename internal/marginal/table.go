@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"priview/internal/attrset"
 )
 
 // Table is a (possibly noisy) marginal contingency table over a set of
@@ -22,23 +24,30 @@ type Table struct {
 	Attrs []int
 	// Cells holds one count per assignment; len(Cells) == 1<<len(Attrs).
 	Cells []float64
+	// mask is Attrs as an attrset bitmask, precomputed by New so that
+	// set algebra on tables (subset tests, intersections, equality of
+	// attribute sets) costs one word operation instead of a merge loop.
+	mask attrset.Set
 }
 
 // New returns a zeroed table over the given attributes. The attribute
 // slice is copied and sorted; duplicates cause a panic because a marginal
-// over a multiset of attributes is meaningless.
+// over a multiset of attributes is meaningless, and indices outside
+// [0, 64) are rejected here — tables carry their attribute set as a
+// one-word attrset bitmask, leaning on the repo-wide d < 64 invariant
+// that dataset and core.Config enforce with typed errors at the input
+// boundary.
 func New(attrs []int) *Table {
 	a := append([]int(nil), attrs...)
 	sort.Ints(a)
-	for i := 1; i < len(a); i++ {
-		if a[i] == a[i-1] {
-			panic(fmt.Sprintf("marginal: duplicate attribute %d", a[i]))
-		}
+	mask, err := attrset.FromAttrs(a)
+	if err != nil {
+		panic(fmt.Sprintf("marginal: %v", err))
 	}
 	if len(a) > 30 {
 		panic(fmt.Sprintf("marginal: table over %d attributes would need 2^%d cells", len(a), len(a)))
 	}
-	return &Table{Attrs: a, Cells: make([]float64, 1<<uint(len(a)))}
+	return &Table{Attrs: a, mask: mask, Cells: make([]float64, 1<<uint(len(a)))}
 }
 
 // Clone returns a deep copy of the table.
@@ -46,8 +55,20 @@ func (t *Table) Clone() *Table {
 	c := &Table{
 		Attrs: append([]int(nil), t.Attrs...),
 		Cells: append([]float64(nil), t.Cells...),
+		mask:  t.mask,
 	}
 	return c
+}
+
+// Mask returns the table's attribute set as an attrset bitmask. Tables
+// built by New always carry the precomputed mask; a table assembled by
+// struct literal (possible only for the zero mask) falls back to
+// packing Attrs on the fly so the answer is correct either way.
+func (t *Table) Mask() attrset.Set {
+	if t.mask == 0 && len(t.Attrs) > 0 {
+		return attrset.MustFromAttrs(t.Attrs)
+	}
+	return t.mask
 }
 
 // Dim returns the number of attributes the table covers.
@@ -68,22 +89,22 @@ func (t *Table) Total() float64 {
 
 // HasAttr reports whether the table covers the given attribute.
 func (t *Table) HasAttr(a int) bool {
-	i := sort.SearchInts(t.Attrs, a)
-	return i < len(t.Attrs) && t.Attrs[i] == a
+	return t.Mask().Contains(a)
 }
 
 // Positions returns, for each attribute in sub, its bit position within
-// the table's attribute list. It panics if sub contains an attribute the
-// table does not cover: projecting onto an uncovered attribute is always
-// a caller bug.
+// the table's attribute list — its rank among the table's attributes,
+// computed from the mask without a binary search. It panics if sub
+// contains an attribute the table does not cover: projecting onto an
+// uncovered attribute is always a caller bug.
 func (t *Table) Positions(sub []int) []int {
+	mask := t.Mask()
 	pos := make([]int, len(sub))
 	for i, a := range sub {
-		j := sort.SearchInts(t.Attrs, a)
-		if j >= len(t.Attrs) || t.Attrs[j] != a {
+		if !mask.Contains(a) {
 			panic(fmt.Sprintf("marginal: attribute %d not in table over %v", a, t.Attrs))
 		}
-		pos[i] = j
+		pos[i] = mask.Rank(a)
 	}
 	return pos
 }
@@ -91,7 +112,9 @@ func (t *Table) Positions(sub []int) []int {
 // RestrictIndex maps a cell index of this table to the corresponding cell
 // index of a table over the sub-attributes whose bit positions (within
 // this table) are given by pos. pos must be sorted ascending, which is
-// automatic when produced by Positions on a sorted sub-set.
+// automatic when produced by Positions on a sorted sub-set. Iteration
+// loops that restrict every cell repeatedly should precompute the whole
+// mapping once with RestrictIndices instead.
 func RestrictIndex(idx int, pos []int) int {
 	out := 0
 	for j, p := range pos {
@@ -100,11 +123,53 @@ func RestrictIndex(idx int, pos []int) int {
 	return out
 }
 
+// restrictPrecomputeLimit bounds the table size for which Project and
+// RestrictIndices materialize the full index mapping (4 bytes per
+// cell). Above it — only reachable near the 30-attribute table cap —
+// the per-cell bit-gather is used instead of a multi-hundred-MB side
+// table.
+const restrictPrecomputeLimit = 1 << 24
+
+// RestrictIndices returns the precomputed projection mapping onto sub:
+// out[i] is the cell of the sub-table that cell i of t projects into.
+// Building it costs O(1) per cell; iterative solvers that restrict
+// every cell once per iteration (max-entropy IPF, Dykstra, the dual
+// ascent) hoist it out of the loop, replacing an O(|sub|) bit-gather
+// per cell per iteration with an array load.
+func (t *Table) RestrictIndices(sub []int) []int32 {
+	// The positions of sub within t, packed as a bitmask over bit
+	// positions, are exactly the PEXT mask for the cell indexing.
+	pm := attrset.MustFromAttrs(t.Positions(sub))
+	return attrset.RestrictTable(t.Dim(), uint64(pm))
+}
+
+// ProjectInto accumulates t's cells into dst according to ridx (as
+// produced by RestrictIndices), zeroing dst first. It is the
+// allocation-free core of Project, shared with the solver hot loops.
+func (t *Table) ProjectInto(dst []float64, ridx []int32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, v := range t.Cells {
+		dst[ridx[i]] += v
+	}
+}
+
 // Project returns the marginal table over sub ⊆ Attrs, written T_A[sub]
 // in the paper: cells of the projection are sums of the cells of t that
-// agree with the corresponding assignment of sub.
+// agree with the corresponding assignment of sub. The cell mapping is
+// precomputed via the table's attribute mask; projecting onto the full
+// attribute set degenerates to a copy.
 func (t *Table) Project(sub []int) *Table {
 	out := New(sub)
+	if out.mask == t.Mask() && len(out.Attrs) == len(t.Attrs) {
+		copy(out.Cells, t.Cells)
+		return out
+	}
+	if len(t.Cells) <= restrictPrecomputeLimit {
+		t.ProjectInto(out.Cells, t.RestrictIndices(out.Attrs))
+		return out
+	}
 	pos := t.Positions(out.Attrs)
 	for i, v := range t.Cells {
 		out.Cells[RestrictIndex(i, pos)] += v
@@ -112,10 +177,15 @@ func (t *Table) Project(sub []int) *Table {
 	return out
 }
 
+// sameSet reports whether two tables cover the same attribute set — a
+// one-word mask comparison, the unified replacement for the old
+// sorted-slice walk.
+func (t *Table) sameSet(o *Table) bool { return t.Mask() == o.Mask() }
+
 // AddInto adds src's cells into t. Both tables must cover exactly the
 // same attribute set.
 func (t *Table) AddInto(src *Table) {
-	if !sameAttrs(t.Attrs, src.Attrs) {
+	if !t.sameSet(src) {
 		panic("marginal: AddInto over mismatched attribute sets")
 	}
 	for i := range t.Cells {
@@ -182,7 +252,7 @@ func (t *Table) ClampNegatives() float64 {
 // L2Distance returns the Euclidean distance between two tables over the
 // same attribute set, viewed as vectors of 2^k cells.
 func L2Distance(a, b *Table) float64 {
-	if !sameAttrs(a.Attrs, b.Attrs) {
+	if !a.sameSet(b) {
 		panic("marginal: L2Distance over mismatched attribute sets")
 	}
 	sum := 0.0
@@ -196,7 +266,7 @@ func L2Distance(a, b *Table) float64 {
 // MaxAbsDiff returns the largest absolute cell-wise difference between
 // two tables over the same attribute set.
 func MaxAbsDiff(a, b *Table) float64 {
-	if !sameAttrs(a.Attrs, b.Attrs) {
+	if !a.sameSet(b) {
 		panic("marginal: MaxAbsDiff over mismatched attribute sets")
 	}
 	m := 0.0
@@ -210,9 +280,10 @@ func MaxAbsDiff(a, b *Table) float64 {
 }
 
 // Equal reports whether two tables cover the same attributes and agree on
-// every cell to within tol.
+// every cell to within tol. The attribute-set comparison is a one-word
+// mask compare.
 func Equal(a, b *Table, tol float64) bool {
-	if !sameAttrs(a.Attrs, b.Attrs) {
+	if !a.sameSet(b) {
 		return false
 	}
 	for i := range a.Cells {
@@ -223,9 +294,19 @@ func Equal(a, b *Table, tol float64) bool {
 	return true
 }
 
-func sameAttrs(a, b []int) bool {
+// SameAttrs reports whether two sorted attribute slices denote the same
+// attribute set. With the repo-wide d < 64 invariant both slices pack
+// into single attrset masks, making this a word compare; slices that
+// violate the invariant (possible only for ad-hoc caller input, never
+// for Table.Attrs) fall back to an element-wise walk.
+func SameAttrs(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
+	}
+	ma, errA := attrset.FromAttrs(a)
+	mb, errB := attrset.FromAttrs(b)
+	if errA == nil && errB == nil {
+		return ma == mb
 	}
 	for i := range a {
 		if a[i] != b[i] {
@@ -235,11 +316,10 @@ func sameAttrs(a, b []int) bool {
 	return true
 }
 
-// SameAttrs reports whether two sorted attribute slices are identical.
-func SameAttrs(a, b []int) bool { return sameAttrs(a, b) }
-
 // Intersect returns the sorted intersection of two sorted attribute
-// slices.
+// slices. Hot paths operate on attrset masks instead (Table.Mask);
+// the slice versions remain as the reference implementation for
+// ad-hoc slices and the attrset property tests.
 func Intersect(a, b []int) []int {
 	var out []int
 	i, j := 0, 0
@@ -299,7 +379,11 @@ func Union(a, b []int) []int {
 }
 
 // Key returns a canonical string key for a sorted attribute set, suitable
-// for use as a map key when deduplicating sets.
+// for use as a map key when deduplicating sets. Hot paths (constraint
+// dedupe, the query cache, the consistency closure) key on attrset
+// masks instead — the word itself is the map key, with no per-call
+// allocation; Key remains for cold paths (serialization, experiment
+// labels) where a human-readable string is worth the allocation.
 func Key(attrs []int) string {
 	b := make([]byte, 0, len(attrs)*3)
 	for _, a := range attrs {

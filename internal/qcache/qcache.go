@@ -32,18 +32,19 @@ import (
 	"fmt"
 	"sync"
 
+	"priview/internal/attrset"
 	"priview/internal/marginal"
 	"priview/internal/reconstruct"
 )
 
-// Key identifies one memoizable query: the attribute set as a bitmask
-// (the repo-wide d < 64 invariant, also relied on by
+// Key identifies one memoizable query: the attribute set as an
+// attrset.Set (the repo-wide d < 64 invariant, also relied on by
 // internal/consistency's closure computation) plus the estimator,
 // carried as its integer value so this package does not depend on
 // internal/core.
 type Key struct {
-	// Mask has bit a set for each queried attribute a.
-	Mask uint64
+	// Mask is the queried attribute set.
+	Mask attrset.Set
 	// Method is the estimator (int value of core.ReconstructMethod).
 	Method int
 }
@@ -53,16 +54,9 @@ type Key struct {
 // which case the caller should bypass the cache rather than conflate
 // distinct queries.
 func KeyFor(attrs []int, method int) (key Key, ok bool) {
-	var m uint64
-	for _, a := range attrs {
-		if a < 0 || a >= 64 {
-			return Key{}, false
-		}
-		bit := uint64(1) << uint(a)
-		if m&bit != 0 {
-			return Key{}, false
-		}
-		m |= bit
+	m, err := attrset.FromAttrs(attrs)
+	if err != nil {
+		return Key{}, false
 	}
 	return Key{Mask: m, Method: method}, true
 }

@@ -41,9 +41,21 @@ func benchConstraints(k int, seed int64) (attrs []int, total float64, cons []*ma
 // group.
 func dedupeBenchConstraints(nSets, dupsPerSet int) []*marginal.Table {
 	r := rand.New(rand.NewSource(9))
+	// Distinct attribute pairs drawn from [0, 64) — C(64,2) = 2016
+	// pairs, plenty for any nSets used here, and all within the d < 64
+	// invariant tables enforce.
+	pairs := make([][]int, 0, nSets)
+	for a := 0; a < 64 && len(pairs) < nSets; a++ {
+		for b := a + 1; b < 64 && len(pairs) < nSets; b++ {
+			pairs = append(pairs, []int{a, b})
+		}
+	}
+	if len(pairs) < nSets {
+		panic("reconstruct: dedupeBenchConstraints nSets exceeds C(64,2)")
+	}
 	var cons []*marginal.Table
 	for s := 0; s < nSets; s++ {
-		proto := marginal.New([]int{2 * s, 2*s + 1})
+		proto := marginal.New(pairs[s])
 		for i := range proto.Cells {
 			proto.Cells[i] = r.Float64() * 1000
 		}
@@ -56,19 +68,54 @@ func dedupeBenchConstraints(nSets, dupsPerSet int) []*marginal.Table {
 
 // BenchmarkDedupeIdentical measures the constraint dedup pass on 3000
 // constraints (300 attribute sets × 10 duplicate views each), the CLP
-// shape where the quadratic cross-set compares dominate. Measured on
-// the reference box (see BENCH_qcache.json): before the bucketing
-// change ~692µs/op, after ~402µs/op; at 1000 sets the gap widens to
-// ~5.8ms vs ~0.89ms. Below ~100 distinct sets the old quadratic pass
-// is actually cheaper (marginal.Equal fast-rejects on attrs, and
-// bucketing pays one marginal.Key allocation per table), but at that
-// size either pass is nanoseconds next to the solve it feeds.
+// shape where the quadratic cross-set compares dominate. The current
+// implementation buckets on the attribute mask (one word, no
+// allocation); BenchmarkDedupeIdenticalStringKeyed below is the
+// retired marginal.Key-bucketed version for comparison. Numbers are
+// recorded in BENCH_attrset.json (earlier history of this pass is in
+// BENCH_qcache.json).
 func BenchmarkDedupeIdentical(b *testing.B) {
 	cons := dedupeBenchConstraints(300, 10)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := dedupeIdentical(cons)
+		if len(out) != 300 {
+			b.Fatalf("deduped to %d, want 300", len(out))
+		}
+	}
+}
+
+// dedupeIdenticalStringKeyed is the pre-attrset implementation kept
+// verbatim as the benchmark baseline: buckets keyed on the
+// marginal.Key string, paying one string allocation and a string hash
+// per constraint.
+func dedupeIdenticalStringKeyed(cons []*marginal.Table) []*marginal.Table {
+	out := make([]*marginal.Table, 0, len(cons))
+	buckets := make(map[string][]*marginal.Table, len(cons))
+	for _, c := range cons {
+		k := marginal.Key(c.Attrs)
+		dup := false
+		for _, o := range buckets[k] {
+			if marginal.Equal(c, o, 1e-6) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buckets[k] = append(buckets[k], c)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func BenchmarkDedupeIdenticalStringKeyed(b *testing.B) {
+	cons := dedupeBenchConstraints(300, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := dedupeIdenticalStringKeyed(cons)
 		if len(out) != 300 {
 			b.Fatalf("deduped to %d, want 300", len(out))
 		}

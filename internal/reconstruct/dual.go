@@ -42,16 +42,19 @@ func MaxEntDualContext(ctx context.Context, attrs []int, total float64, cons []*
 		t.Fill(total / float64(t.Size()))
 		return t, nil
 	}
+	// Precomputed cell → restricted-cell mapping per constraint (see
+	// marginal.RestrictIndices): both the logit assembly and the gradient
+	// projection become single array loads per cell.
 	type prepared struct {
 		target *marginal.Table
-		pos    []int
+		ridx   []int32
 		lambda []float64
 	}
 	prep := make([]prepared, len(cons))
 	for i, c := range cons {
 		prep[i] = prepared{
 			target: c,
-			pos:    t.Positions(c.Attrs),
+			ridx:   t.RestrictIndices(c.Attrs),
 			lambda: make([]float64, c.Size()),
 		}
 	}
@@ -78,7 +81,7 @@ func MaxEntDualContext(ctx context.Context, attrs []int, total float64, cons []*
 		for a := 0; a < n; a++ {
 			l := 0.0
 			for i := range prep {
-				l += prep[i].lambda[marginal.RestrictIndex(a, prep[i].pos)]
+				l += prep[i].lambda[prep[i].ridx[a]]
 			}
 			logits[a] = l
 			if l > maxLogit {
@@ -98,12 +101,7 @@ func MaxEntDualContext(ctx context.Context, attrs []int, total float64, cons []*
 		worst := 0.0
 		for i := range prep {
 			pr := proj[i]
-			for j := range pr {
-				pr[j] = 0
-			}
-			for a := 0; a < n; a++ {
-				pr[marginal.RestrictIndex(a, prep[i].pos)] += t.Cells[a]
-			}
+			t.ProjectInto(pr, prep[i].ridx)
 			for j := range pr {
 				g := prep[i].target.Cells[j] - pr[j]
 				if d := math.Abs(g); d > worst {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"priview/internal/attrset"
 	"priview/internal/lp"
 	"priview/internal/marginal"
 )
@@ -49,13 +50,14 @@ func (o Options) tol() float64 {
 // inconsistent views itself). Views fully covering attrs yield a
 // constraint over attrs itself.
 func ConstraintsFromViews(views []*marginal.Table, attrs []int) []*marginal.Table {
+	target := attrset.MustFromAttrs(attrs)
 	var cons []*marginal.Table
 	for _, v := range views {
-		b := marginal.Intersect(v.Attrs, attrs)
-		if len(b) == 0 {
+		b := v.Mask().Intersect(target)
+		if b.Empty() {
 			continue
 		}
-		cons = append(cons, v.Project(b))
+		cons = append(cons, v.Project(b.Attrs()))
 	}
 	return cons
 }
@@ -66,11 +68,12 @@ func ConstraintsFromViews(views []*marginal.Table, attrs []int) []*marginal.Tabl
 // sets are averaged. This is the constraint set the maximum-entropy and
 // least-squares methods consume.
 func MaximalConstraints(cons []*marginal.Table) []*marginal.Table {
-	// Average duplicates first.
-	byKey := map[string][]*marginal.Table{}
-	var order []string
+	// Average duplicates first, keyed on the attribute masks — the mask
+	// word is the map key, with no per-constraint string allocation.
+	byKey := map[attrset.Set][]*marginal.Table{}
+	var order []attrset.Set
 	for _, c := range cons {
-		k := marginal.Key(c.Attrs)
+		k := c.Mask()
 		if _, ok := byKey[k]; !ok {
 			order = append(order, k)
 		}
@@ -86,7 +89,8 @@ func MaximalConstraints(cons []*marginal.Table) []*marginal.Table {
 		avg.Scale(1 / float64(len(group)))
 		merged = append(merged, avg)
 	}
-	// Keep only maximal sets.
+	// Keep only maximal sets: after merging, masks are distinct, so a
+	// strict-superset test is one subset word-op per pair.
 	var out []*marginal.Table
 	for i, c := range merged {
 		maximal := true
@@ -94,7 +98,7 @@ func MaximalConstraints(cons []*marginal.Table) []*marginal.Table {
 			if i == j {
 				continue
 			}
-			if len(other.Attrs) > len(c.Attrs) && marginal.Subset(c.Attrs, other.Attrs) {
+			if c.Mask().ProperSubset(other.Mask()) {
 				maximal = false
 				break
 			}
@@ -109,8 +113,9 @@ func MaximalConstraints(cons []*marginal.Table) []*marginal.Table {
 // Covered returns the direct projection of some view fully containing
 // attrs, or nil when no view covers it.
 func Covered(views []*marginal.Table, attrs []int) *marginal.Table {
+	target := attrset.MustFromAttrs(attrs)
 	for _, v := range views {
-		if marginal.Subset(attrs, v.Attrs) {
+		if target.Subset(v.Mask()) {
 			return v.Project(attrs)
 		}
 	}
@@ -172,13 +177,16 @@ func MaxEntContext(ctx context.Context, attrs []int, total float64, cons []*marg
 	if len(cons) == 0 {
 		return t, nil
 	}
+	// Precompute the cell → restricted-cell mapping once per constraint;
+	// the IPF loop then does two array loads per cell instead of a
+	// bit-gather.
 	type prepared struct {
 		target *marginal.Table
-		pos    []int
+		ridx   []int32
 	}
 	prep := make([]prepared, len(cons))
 	for i, c := range cons {
-		prep[i] = prepared{target: c, pos: t.Positions(c.Attrs)}
+		prep[i] = prepared{target: c, ridx: t.RestrictIndices(c.Attrs)}
 	}
 	tol := opt.tol() * total
 	proj := make([][]float64, len(cons))
@@ -196,15 +204,10 @@ func MaxEntContext(ctx context.Context, attrs []int, total float64, cons []*marg
 		for i, p := range prep {
 			// Current projection.
 			pr := proj[i]
-			for j := range pr {
-				pr[j] = 0
-			}
-			for ci, v := range t.Cells {
-				pr[marginal.RestrictIndex(ci, p.pos)] += v
-			}
+			t.ProjectInto(pr, p.ridx)
 			// Multiplicative update toward the target.
 			for ci := range t.Cells {
-				b := marginal.RestrictIndex(ci, p.pos)
+				b := p.ridx[ci]
 				cur := pr[b]
 				want := p.target.Cells[b]
 				if d := math.Abs(cur - want); d > worst {
@@ -262,14 +265,14 @@ func LeastSquaresContext(ctx context.Context, attrs []int, total float64, cons [
 	}
 	type prepared struct {
 		target    *marginal.Table
-		pos       []int
+		ridx      []int32
 		groupSize float64
 	}
 	prep := make([]prepared, len(cons))
 	for i, c := range cons {
 		prep[i] = prepared{
 			target:    c,
-			pos:       t.Positions(c.Attrs),
+			ridx:      t.RestrictIndices(c.Attrs),
 			groupSize: float64(int(1) << uint(t.Dim()-c.Dim())),
 		}
 	}
@@ -306,10 +309,10 @@ func LeastSquaresContext(ctx context.Context, attrs []int, total float64, cons [
 					proj[j] = 0
 				}
 				for ci, v := range y {
-					proj[marginal.RestrictIndex(ci, p.pos)] += v
+					proj[p.ridx[ci]] += v
 				}
 				for ci := range y {
-					b := marginal.RestrictIndex(ci, p.pos)
+					b := p.ridx[ci]
 					corr := (p.target.Cells[b] - proj[b]) / p.groupSize
 					nv := y[ci] + corr
 					if d := math.Abs(nv - t.Cells[ci]); d > moved {
@@ -372,12 +375,11 @@ func LinProgContext(ctx context.Context, attrs []int, cons []*marginal.Table) (*
 	}
 	prob.Objective[n] = 1
 	for _, c := range cons {
-		pos := t.Positions(c.Attrs)
+		ridx := t.RestrictIndices(c.Attrs)
 		// Group cells of A by their restricted index.
 		groups := make([][]int, c.Size())
 		for ci := 0; ci < n; ci++ {
-			b := marginal.RestrictIndex(ci, pos)
-			groups[b] = append(groups[b], ci)
+			groups[ridx[ci]] = append(groups[ridx[ci]], ci)
 		}
 		for b, cells := range groups {
 			// sum(cells) - τ ≤ target  and  sum(cells) + τ ≥ target.
@@ -417,17 +419,18 @@ func LinProgContext(ctx context.Context, attrs []int, cons []*marginal.Table) (*
 // tolerance collapses the (large) redundant constraint set of CLP while
 // leaving genuinely inconsistent LP constraints untouched.
 //
-// Candidates are bucketed by their attribute set first: marginal.Equal
+// Candidates are bucketed by their attribute mask first: marginal.Equal
 // is false for different attribute sets, so only same-set tables can be
-// duplicates and cross-bucket cell comparisons are pure waste. This
-// keeps the pass near-linear for the common CLP pattern of many views
-// projecting onto many distinct subsets, instead of O(n²) full-table
-// compares.
+// duplicates and cross-bucket cell comparisons are pure waste. The mask
+// word is the bucket key directly — no string allocation per
+// constraint, unlike the retired marginal.Key scheme — keeping the pass
+// near-linear for the common CLP pattern of many views projecting onto
+// many distinct subsets, instead of O(n²) full-table compares.
 func dedupeIdentical(cons []*marginal.Table) []*marginal.Table {
 	out := make([]*marginal.Table, 0, len(cons))
-	buckets := make(map[string][]*marginal.Table, len(cons))
+	buckets := make(map[attrset.Set][]*marginal.Table, len(cons))
 	for _, c := range cons {
-		k := marginal.Key(c.Attrs)
+		k := c.Mask()
 		dup := false
 		for _, o := range buckets[k] {
 			if marginal.Equal(c, o, 1e-6) {
