@@ -13,11 +13,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# priview-lint is this repo's own static-analysis gate: randsource,
-# floatcmp, errdiscard, panicmsg, attrset. See DESIGN.md "Static
-# analysis & invariants" and `go run ./cmd/priview-lint -list`.
+# priview-lint is this repo's own static-analysis gate: five AST checks
+# (randsource, floatcmp, errdiscard, panicmsg, attrset) plus four
+# whole-program dataflow analyzers (privflow, ctxflow, budgetlit,
+# hotalloc) driven by the source/sanitizer/sink table in lint.facts.
+# See DESIGN.md §11 and `go run ./cmd/priview-lint -list`.
 lint:
 	$(GO) run ./cmd/priview-lint ./...
+
+# Serial vs parallel wall-clock for the lint driver's load+analyze
+# pipeline; reference numbers live in BENCH_lint.json.
+lint-bench:
+	$(GO) build -o $(or $(TMPDIR),/tmp)/priview-lint-bench ./cmd/priview-lint
+	time $(or $(TMPDIR),/tmp)/priview-lint-bench -serial -stats ./...
+	time $(or $(TMPDIR),/tmp)/priview-lint-bench -stats ./...
 
 test:
 	$(GO) test ./...

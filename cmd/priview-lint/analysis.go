@@ -22,12 +22,19 @@ type Analyzer struct {
 }
 
 // analyzers is the registry, in the order checks are run and listed.
+// The first five are per-package AST checks; the last four run on the
+// whole-program dataflow engine and silently skip when no engine is
+// attached to the pass.
 var analyzers = []*Analyzer{
 	randsourceAnalyzer,
 	floatcmpAnalyzer,
 	errdiscardAnalyzer,
 	panicmsgAnalyzer,
 	attrsetAnalyzer,
+	privflowAnalyzer,
+	ctxflowAnalyzer,
+	budgetlitAnalyzer,
+	hotallocAnalyzer,
 }
 
 // Pass carries one package's syntax and type information to an
@@ -39,7 +46,9 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Files    []*ast.File // non-test files only
+	Engine   *engine     // whole-program dataflow engine; nil in engine-less runs
 
+	pkg      *lintPackage
 	findings *[]Finding
 }
 
@@ -52,20 +61,40 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Finding is one reported violation.
+// ReportTrace records a finding carrying a taint trace (source → hops →
+// sink).
+func (p *Pass) ReportTrace(pos token.Pos, msg string, trace []string) {
+	*p.findings = append(*p.findings, Finding{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: msg,
+		Trace:   trace,
+	})
+}
+
+// Finding is one reported violation. Trace, when present, walks the
+// dataflow from the raw source to the sink, one hop per entry.
 type Finding struct {
 	Check   string         `json:"check"`
 	Pos     token.Position `json:"-"`
 	Message string         `json:"message"`
+	Trace   []string       `json:"trace,omitempty"`
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
+	s := fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
+	for _, hop := range f.Trace {
+		s += "\n\t" + hop
+	}
+	return s
 }
 
 // runAnalyzers runs every registered analyzer over pkg and returns the
 // findings that survive //lint:ignore suppression, sorted by position.
-func runAnalyzers(pkg *lintPackage) []Finding {
+// eng may be nil, in which case the dataflow analyzers skip and unused
+// suppressions are not reported (a partial run cannot tell unused from
+// not-yet-matched).
+func runAnalyzers(pkg *lintPackage, eng *engine) []Finding {
 	var raw []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -75,11 +104,13 @@ func runAnalyzers(pkg *lintPackage) []Finding {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			Files:    pkg.Files,
+			Engine:   eng,
+			pkg:      pkg,
 			findings: &raw,
 		}
 		a.Run(pass)
 	}
-	out := applySuppressions(pkg, raw)
+	out := applySuppressions(pkg, raw, eng != nil)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -101,6 +132,7 @@ type ignoreDirective struct {
 	check  string
 	reason string
 	line   int
+	col    int
 }
 
 const directivePrefix = "lint:ignore"
@@ -143,6 +175,7 @@ func collectDirectives(pkg *lintPackage, report func(Finding)) map[string][]igno
 					check:  check,
 					reason: strings.Join(fields[1:], " "),
 					line:   pos.Line,
+					col:    pos.Column,
 				})
 			}
 		}
@@ -161,20 +194,43 @@ func knownCheck(name string) bool {
 
 // applySuppressions drops findings covered by a //lint:ignore directive
 // on the same line or the line immediately above, and appends any
-// directive-syntax findings.
-func applySuppressions(pkg *lintPackage, raw []Finding) []Finding {
+// directive-syntax findings. When the full analyzer set ran
+// (complete=true), a directive that suppressed nothing is itself
+// reported, staticcheck-style, so stale suppressions cannot rot in
+// place.
+func applySuppressions(pkg *lintPackage, raw []Finding, complete bool) []Finding {
 	var out []Finding
 	directives := collectDirectives(pkg, func(f Finding) { out = append(out, f) })
+	used := make(map[*ignoreDirective]bool)
 	for _, f := range raw {
 		suppressed := false
-		for _, d := range directives[f.Pos.Filename] {
+		ds := directives[f.Pos.Filename]
+		for i := range ds {
+			d := &ds[i]
 			if d.check == f.Check && (d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
 				suppressed = true
-				break
+				used[d] = true
+				// Keep scanning: several directives may target the same
+				// finding line and all of them count as exercised.
 			}
 		}
 		if !suppressed {
 			out = append(out, f)
+		}
+	}
+	if complete {
+		for file, ds := range directives {
+			_ = file
+			for i := range ds {
+				d := &ds[i]
+				if !used[d] {
+					out = append(out, Finding{
+						Check:   "directive",
+						Pos:     token.Position{Filename: file, Line: d.line, Column: d.col},
+						Message: fmt.Sprintf("//lint:ignore %s suppresses nothing; remove the stale directive", d.check),
+					})
+				}
+			}
 		}
 	}
 	return out

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// attrsetExempt lists the packages allowed to manipulate attribute
+// bitmasks by hand: the canonical implementation itself. Everything
+// else must go through internal/attrset so the d < 64 invariant and the
+// branch-free kernels live in exactly one place.
+var attrsetExempt = map[string]bool{
+	"priview/internal/attrset": true,
+}
+
+var attrsetAnalyzer = &Analyzer{
+	Name: "attrset",
+	Doc:  "attribute-set bitmasks must be built with internal/attrset, not hand-rolled 1<<attr accumulation loops",
+	Run:  runAttrset,
+}
+
+// runAttrset flags the hand-rolled set-building idiom that
+// internal/attrset replaced in PR 5: iterating an attribute list
+// ([]int) and accumulating, removing, or testing `1 << attr` bits
+// against a mask word,
+//
+//	for _, a := range attrs { m |= 1 << uint(a) }     → attrset.FromAttrs
+//	for _, a := range attrs { m &^= 1 << uint(a) }    → Set.Remove
+//	for _, a := range attrs { ... m&(1<<uint(a)) ... } → Set.Contains
+//
+// The shift amount must be the value variable of a range over []int —
+// an attribute list. Record-bit packing (dataset.ReadFrom, the one-hot
+// encoder, synthetic generators) and cell-index gathers shift by loop
+// counters or extracted bits, not by ranged attribute values, and stay
+// legal: those words are data records, not attribute sets.
+func runAttrset(pass *Pass) {
+	if attrsetExempt[pass.Path] {
+		return
+	}
+	for _, f := range pass.Files {
+		// Objects that are the value variable of a range over []int —
+		// attribute-list iteration.
+		attrVars := make(map[types.Object]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || rng.Value == nil {
+				return true
+			}
+			id, ok := rng.Value.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			slice, ok := tv.Type.Underlying().(*types.Slice)
+			if !ok {
+				return true
+			}
+			elem, ok := slice.Elem().Underlying().(*types.Basic)
+			if !ok || elem.Kind() != types.Int {
+				return true
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				attrVars[obj] = true
+			}
+			return true
+		})
+		if len(attrVars) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				if n.Tok != token.OR_ASSIGN && n.Tok != token.AND_NOT_ASSIGN {
+					return true
+				}
+				if isAttrShift(pass.Info, attrVars, n.Rhs[0]) {
+					hint := "|= 1<<attr; use attrset.FromAttrs or Set.Add"
+					if n.Tok == token.AND_NOT_ASSIGN {
+						hint = "&^= 1<<attr; use attrset.Set.Remove"
+					}
+					pass.Reportf(n.Pos(),
+						"hand-rolled attribute bitmask (%s) so set algebra and the d<64 invariant stay in internal/attrset", hint)
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.AND {
+					return true
+				}
+				if isAttrShift(pass.Info, attrVars, n.X) || isAttrShift(pass.Info, attrVars, n.Y) {
+					pass.Reportf(n.Pos(),
+						"hand-rolled attribute membership test (mask & 1<<attr); use attrset.Set.Contains")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAttrShift reports whether e is `1 << a` (with the usual uint
+// conversions) where a is a ranged attribute-list variable.
+func isAttrShift(info *types.Info, attrVars map[types.Object]bool, e ast.Expr) bool {
+	sh, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || sh.Op != token.SHL {
+		return false
+	}
+	if !isConstOne(info, sh.X) {
+		return false
+	}
+	id, ok := unconvert(info, sh.Y).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return attrVars[info.Uses[id]]
+}
+
+// unconvert strips conversions (uint(a), uint64(a), ...) and parens
+// from e.
+func unconvert(info *types.Info, e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	for {
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return e
+		}
+		e = ast.Unparen(call.Args[0])
+	}
+}
+
+// isConstOne reports whether e is the constant 1, looking through
+// conversions (uint64(1), Set(1), ...).
+func isConstOne(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return tv.Value.ExactString() == "1"
+	}
+	return false
+}

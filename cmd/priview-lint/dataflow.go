@@ -1,0 +1,931 @@
+// The dataflow engine: whole-program function summaries over every
+// loaded priview/... package plus a taint abstract interpreter on the
+// lattice raw → noised → published. Phase A builds per-function
+// summaries bottom-up in package topological order (with a fixpoint
+// inside each package for intra-package recursion); Phase B re-analyzes
+// the packages under review with the final summaries and reporting
+// enabled. The analysis is deliberately optimistic about code it cannot
+// see — unknown callees neither produce raw data nor publish it — so
+// every finding is rooted at a declared fact from lint.facts, and the
+// way to extend coverage is to classify more symbols there.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// provenance is one hop of a taint trace, linked from the latest hop
+// back to the raw source.
+type provenance struct {
+	desc string
+	pos  token.Pos
+	prev *provenance
+}
+
+// trace renders the hop chain source-first.
+func (p *provenance) trace(fset *token.FileSet) []string {
+	var out []string
+	for q := p; q != nil; q = q.prev {
+		if q.pos.IsValid() {
+			out = append(out, fmt.Sprintf("%s at %s", q.desc, fset.Position(q.pos)))
+		} else {
+			out = append(out, q.desc)
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// tval is the abstract value: possibly-raw (with provenance), noised
+// (passed through internal/noise), derived from enclosing-function
+// parameters (bitset), and/or a set of possible function values.
+type tval struct {
+	raw    *provenance
+	noised bool
+	params uint64
+	funcs  []*funcSummary
+}
+
+func (v tval) tainted() bool { return v.raw != nil || v.params != 0 }
+
+func mergeVal(a, b tval) tval {
+	out := tval{params: a.params | b.params}
+	out.raw = a.raw
+	if out.raw == nil {
+		out.raw = b.raw
+	}
+	out.noised = (a.noised || b.noised) && out.raw == nil
+	out.funcs = a.funcs
+	for _, f := range b.funcs {
+		found := false
+		for _, g := range out.funcs {
+			if f == g {
+				found = true
+			}
+		}
+		if !found {
+			out.funcs = append(append([]*funcSummary(nil), out.funcs...), f)
+		}
+	}
+	return out
+}
+
+// sinkRecord says "this function hands the given parameter to a publish
+// sink", with the call chain from the function down to the sink.
+type sinkRecord struct {
+	sink string
+	via  []string
+}
+
+// funcSummary is the interprocedural contract of one function.
+type funcSummary struct {
+	name string // display symbol for traces
+
+	resultRaw    []*provenance // per result: raw independent of arguments
+	resultNoised []bool        // per result: definitely noised
+	flows        []uint64      // per result: params flowing through unsanitized
+	sanitizes    uint64        // params the call leaves noised (in-place)
+	argRaw       map[int]*provenance
+	argFlows     map[int]uint64 // param mutated with data from other params
+	sinks        map[int]*sinkRecord
+	polls        bool // reaches a ctx.Err()/ctx.Done() poll
+}
+
+func newSummary(name string, nresults int) *funcSummary {
+	return &funcSummary{
+		name:         name,
+		resultRaw:    make([]*provenance, nresults),
+		resultNoised: make([]bool, nresults),
+		flows:        make([]uint64, nresults),
+		argRaw:       make(map[int]*provenance),
+		argFlows:     make(map[int]uint64),
+		sinks:        make(map[int]*sinkRecord),
+	}
+}
+
+// equalShape compares the caller-visible parts of two summaries; the
+// package fixpoint loop stops when no summary changes shape.
+func equalShape(a, b *funcSummary) bool {
+	if len(a.resultRaw) != len(b.resultRaw) || a.sanitizes != b.sanitizes || a.polls != b.polls {
+		return false
+	}
+	for i := range a.resultRaw {
+		if (a.resultRaw[i] != nil) != (b.resultRaw[i] != nil) ||
+			a.resultNoised[i] != b.resultNoised[i] || a.flows[i] != b.flows[i] {
+			return false
+		}
+	}
+	if len(a.sinks) != len(b.sinks) || len(a.argRaw) != len(b.argRaw) || len(a.argFlows) != len(b.argFlows) {
+		return false
+	}
+	for k := range a.sinks {
+		if b.sinks[k] == nil {
+			return false
+		}
+	}
+	for k := range a.argRaw {
+		if b.argRaw[k] == nil {
+			return false
+		}
+	}
+	for k, v := range a.argFlows {
+		if b.argFlows[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// funcUnit is one function declaration the engine can analyze.
+type funcUnit struct {
+	pkg  *lintPackage
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+// engine owns the facts, the summaries, and the loaded program.
+type engine struct {
+	facts     *factsTable
+	fset      *token.FileSet
+	pkgs      []*lintPackage // dependencies before dependents
+	units     map[*lintPackage][]funcUnit
+	summaries map[*types.Func]*funcSummary
+}
+
+// newEngine builds function summaries for every package in pkgs, which
+// must be topologically ordered (loader.allInOrder provides this).
+func newEngine(facts *factsTable, fset *token.FileSet, pkgs []*lintPackage) *engine {
+	e := &engine{
+		facts:     facts,
+		fset:      fset,
+		pkgs:      pkgs,
+		units:     make(map[*lintPackage][]funcUnit),
+		summaries: make(map[*types.Func]*funcSummary),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				e.units[pkg] = append(e.units[pkg], funcUnit{pkg: pkg, decl: fd, obj: obj})
+			}
+		}
+	}
+	// Phase A: summaries bottom-up; fixpoint within each package covers
+	// intra-package (including mutual) recursion. The iteration cap is a
+	// backstop — the lattice is finite and monotone, so in practice two
+	// or three rounds converge.
+	for _, pkg := range pkgs {
+		for round := 0; round < 8; round++ {
+			changed := false
+			for _, u := range e.units[pkg] {
+				old := e.summaries[u.obj]
+				s := e.analyze(u, nil)
+				e.summaries[u.obj] = s
+				if old == nil || !equalShape(old, s) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return e
+}
+
+// reportInto re-analyzes every function of pkg with reporting enabled —
+// Phase B for the privflow analyzer.
+func (e *engine) reportInto(pkg *lintPackage, report func(pos token.Pos, msg string, trace []string)) {
+	for _, u := range e.units[pkg] {
+		e.analyze(u, report)
+	}
+}
+
+// analyze runs the abstract interpreter over one function body and
+// returns its summary. When report is non-nil, raw-into-sink hits are
+// reported; parameter-into-sink hits are always recorded in the summary
+// for callers.
+func (e *engine) analyze(u funcUnit, report func(pos token.Pos, msg string, trace []string)) *funcSummary {
+	sig := u.obj.Type().(*types.Signature)
+	in := &interp{
+		engine: e,
+		pkg:    u.pkg,
+		info:   u.pkg.Info,
+		report: report,
+		env:    make(map[types.Object]tval),
+		params: make(map[types.Object]int),
+	}
+	idx := 0
+	if sig.Recv() != nil {
+		in.params[sig.Recv()] = idx
+		idx++
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		in.params[sig.Params().At(i)] = idx
+		idx++
+	}
+	in.sum = newSummary(funcKey(u.obj), sig.Results().Len())
+	for i := range in.sum.resultNoised {
+		in.sum.resultNoised[i] = true // until a return says otherwise
+	}
+	in.results = make([]types.Object, 0, sig.Results().Len())
+	for i := 0; i < sig.Results().Len(); i++ {
+		in.results = append(in.results, sig.Results().At(i))
+	}
+	in.stmt(u.decl.Body)
+	if !in.returned {
+		for i := range in.sum.resultNoised {
+			in.sum.resultNoised[i] = false
+		}
+	}
+	return in.sum
+}
+
+// interp interprets one function body over the taint lattice.
+type interp struct {
+	engine   *engine
+	pkg      *lintPackage
+	info     *types.Info
+	report   func(pos token.Pos, msg string, trace []string)
+	env      map[types.Object]tval
+	params   map[types.Object]int
+	results  []types.Object
+	sum      *funcSummary
+	returned bool
+}
+
+func (in *interp) lookup(obj types.Object) tval {
+	if v, ok := in.env[obj]; ok {
+		return v
+	}
+	if i, ok := in.params[obj]; ok {
+		return tval{params: 1 << uint(i)}
+	}
+	return tval{}
+}
+
+// taintObj merges v into obj's abstract value, and — when obj is a
+// parameter — records the mutation in the summary so callers see it.
+func (in *interp) taintObj(obj types.Object, v tval) {
+	if obj == nil {
+		return
+	}
+	in.env[obj] = mergeVal(in.lookup(obj), v)
+	if i, ok := in.params[obj]; ok {
+		if v.raw != nil && in.sum.argRaw[i] == nil {
+			in.sum.argRaw[i] = v.raw
+		}
+		in.sum.argFlows[i] |= v.params
+	}
+}
+
+// noiseObj marks obj as definitely noised from here on.
+func (in *interp) noiseObj(obj types.Object) {
+	if obj == nil {
+		return
+	}
+	in.env[obj] = tval{noised: true}
+	if i, ok := in.params[obj]; ok {
+		in.sum.sanitizes |= 1 << uint(i)
+		delete(in.sum.argRaw, i)
+	}
+}
+
+// rootObj resolves the variable at the base of an lvalue: x, x.f,
+// x[i].g, *x, and so on.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel != nil {
+				e = x.X
+				continue
+			}
+			return info.ObjectOf(x.Sel)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (in *interp) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			in.stmt(st)
+		}
+	case *ast.ExprStmt:
+		in.exprN(s.X)
+	case *ast.AssignStmt:
+		in.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var v tval
+					if i < len(vs.Values) {
+						v = in.expr(vs.Values[i])
+					} else if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						vals := in.exprN(vs.Values[0])
+						if i < len(vals) {
+							v = vals[i]
+						}
+					}
+					in.taintObj(in.info.ObjectOf(name), v)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		in.stmt(s.Init)
+		in.expr(s.Cond)
+		in.stmt(s.Body)
+		in.stmt(s.Else)
+	case *ast.ForStmt:
+		in.stmt(s.Init)
+		if s.Cond != nil {
+			in.expr(s.Cond)
+		}
+		// Two passes propagate loop-carried taint one level.
+		in.stmt(s.Body)
+		in.stmt(s.Post)
+		in.stmt(s.Body)
+		in.stmt(s.Post)
+	case *ast.RangeStmt:
+		v := in.expr(s.X)
+		elem := tval{raw: v.raw, noised: v.noised, params: v.params}
+		if s.Key != nil {
+			in.taintObj(rootObj(in.info, s.Key), elem)
+		}
+		if s.Value != nil {
+			in.taintObj(rootObj(in.info, s.Value), elem)
+		}
+		in.stmt(s.Body)
+		in.stmt(s.Body)
+	case *ast.SwitchStmt:
+		in.stmt(s.Init)
+		if s.Tag != nil {
+			in.expr(s.Tag)
+		}
+		in.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		in.stmt(s.Init)
+		in.stmt(s.Assign)
+		in.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			in.expr(e)
+		}
+		for _, st := range s.Body {
+			in.stmt(st)
+		}
+	case *ast.SelectStmt:
+		in.stmt(s.Body)
+	case *ast.CommClause:
+		in.stmt(s.Comm)
+		for _, st := range s.Body {
+			in.stmt(st)
+		}
+	case *ast.ReturnStmt:
+		in.returned = true
+		var vals []tval
+		if len(s.Results) == 1 && len(in.results) > 1 {
+			vals = in.exprN(s.Results[0])
+		} else {
+			for _, r := range s.Results {
+				vals = append(vals, in.expr(r))
+			}
+		}
+		if len(s.Results) == 0 {
+			for _, obj := range in.results {
+				vals = append(vals, in.lookup(obj))
+			}
+		}
+		for i, v := range vals {
+			if i >= len(in.sum.flows) {
+				break
+			}
+			if v.raw != nil && in.sum.resultRaw[i] == nil {
+				in.sum.resultRaw[i] = v.raw
+			}
+			in.sum.flows[i] |= v.params
+			if !v.noised {
+				in.sum.resultNoised[i] = false
+			}
+		}
+	case *ast.GoStmt:
+		in.exprN(s.Call)
+	case *ast.DeferStmt:
+		in.exprN(s.Call)
+	case *ast.SendStmt:
+		v := in.expr(s.Value)
+		in.taintObj(rootObj(in.info, s.Chan), v)
+	case *ast.IncDecStmt:
+		in.expr(s.X)
+	case *ast.LabeledStmt:
+		in.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+func (in *interp) assign(s *ast.AssignStmt) {
+	var vals []tval
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		vals = in.exprN(s.Rhs[0])
+		for len(vals) < len(s.Lhs) {
+			vals = append(vals, tval{})
+		}
+	} else {
+		for _, r := range s.Rhs {
+			vals = append(vals, in.expr(r))
+		}
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(vals) {
+			break
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			obj := in.info.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			// Plain = to a simple variable replaces its value; composed
+			// assignments and mutations merge.
+			if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+				in.env[obj] = vals[i]
+				if pi, ok := in.params[obj]; ok {
+					if vals[i].raw != nil && in.sum.argRaw[pi] == nil {
+						in.sum.argRaw[pi] = vals[i].raw
+					}
+					in.sum.argFlows[pi] |= vals[i].params
+				}
+			} else {
+				in.taintObj(obj, vals[i])
+			}
+			continue
+		}
+		// x.f = v, x[i] = v, *p = v: taint the root container.
+		in.taintObj(rootObj(in.info, lhs), vals[i])
+	}
+}
+
+// expr evaluates e to a single abstract value.
+func (in *interp) expr(e ast.Expr) tval {
+	vs := in.exprN(e)
+	if len(vs) == 0 {
+		return tval{}
+	}
+	return vs[0]
+}
+
+// exprN evaluates e, which may be a multi-valued call.
+func (in *interp) exprN(e ast.Expr) []tval {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		obj := in.info.ObjectOf(e)
+		if obj == nil {
+			return []tval{{}}
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			if s := in.engine.summaries[fn]; s != nil {
+				return []tval{{funcs: []*funcSummary{s}}}
+			}
+			return []tval{{}}
+		}
+		return []tval{in.lookup(obj)}
+	case *ast.SelectorExpr:
+		if sel, ok := in.info.Selections[e]; ok && sel != nil {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Method value: carry the summary; the receiver binding is
+				// approximated away.
+				if s := in.engine.summaries[fn]; s != nil {
+					return []tval{{funcs: []*funcSummary{s}}}
+				}
+				return []tval{{}}
+			}
+			v := in.expr(e.X)
+			return []tval{{raw: v.raw, noised: v.noised, params: v.params}}
+		}
+		// Qualified identifier pkg.X.
+		if fn, ok := in.info.Uses[e.Sel].(*types.Func); ok {
+			if s := in.engine.summaries[fn]; s != nil {
+				return []tval{{funcs: []*funcSummary{s}}}
+			}
+		}
+		return []tval{{}}
+	case *ast.CallExpr:
+		return in.call(e)
+	case *ast.BinaryExpr:
+		x, y := in.expr(e.X), in.expr(e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			// The additive-noise rule: raw ± noised is a noised quantity
+			// (this is literally what the Laplace mechanism computes).
+			if (x.raw != nil && y.noised) || (y.raw != nil && x.noised) {
+				return []tval{{noised: true, params: x.params | y.params}}
+			}
+			return []tval{mergeVal(x, y)}
+		case token.LAND, token.LOR, token.EQL, token.NEQ, token.LSS,
+			token.LEQ, token.GTR, token.GEQ:
+			// Control-flow taint is out of scope.
+			return []tval{{}}
+		default:
+			return []tval{mergeVal(x, y)}
+		}
+	case *ast.UnaryExpr:
+		v := in.expr(e.X)
+		return []tval{v}
+	case *ast.StarExpr:
+		return []tval{in.expr(e.X)}
+	case *ast.IndexExpr:
+		v := in.expr(e.X)
+		in.expr(e.Index)
+		return []tval{{raw: v.raw, noised: v.noised, params: v.params}}
+	case *ast.SliceExpr:
+		return []tval{in.expr(e.X)}
+	case *ast.TypeAssertExpr:
+		v := in.expr(e.X)
+		return []tval{v, {}}
+	case *ast.CompositeLit:
+		out := tval{}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				out = mergeVal(out, in.expr(kv.Value))
+			} else {
+				out = mergeVal(out, in.expr(el))
+			}
+		}
+		return []tval{out}
+	case *ast.FuncLit:
+		return []tval{{funcs: []*funcSummary{in.analyzeLit(e)}}}
+	case *ast.BasicLit:
+		return []tval{{}}
+	}
+	return []tval{{}}
+}
+
+// analyzeLit summarizes a function literal in the context of the
+// enclosing function: free variables keep their current abstract
+// values, and sink hits inside the literal report through the enclosing
+// interpreter.
+func (in *interp) analyzeLit(lit *ast.FuncLit) *funcSummary {
+	sig, ok := in.info.Types[lit].Type.(*types.Signature)
+	if !ok {
+		return newSummary("func literal", 0)
+	}
+	inner := &interp{
+		engine: in.engine,
+		pkg:    in.pkg,
+		info:   in.info,
+		report: in.report,
+		env:    make(map[types.Object]tval),
+		params: make(map[types.Object]int),
+	}
+	// Free variables: the literal sees the enclosing environment, but
+	// writes do not flow back (optimistic; closures that launder raw
+	// data through captured state need a declared fact to be seen).
+	for obj, v := range in.env {
+		inner.env[obj] = v
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		inner.params[sig.Params().At(i)] = i
+	}
+	inner.sum = newSummary("func literal at "+in.engine.fset.Position(lit.Pos()).String(), sig.Results().Len())
+	for i := range inner.sum.resultNoised {
+		inner.sum.resultNoised[i] = true
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		inner.results = append(inner.results, sig.Results().At(i))
+	}
+	inner.stmt(lit.Body)
+	if !inner.returned {
+		for i := range inner.sum.resultNoised {
+			inner.sum.resultNoised[i] = false
+		}
+	}
+	in.sum.polls = in.sum.polls || inner.sum.polls
+	return inner.sum
+}
+
+// staticCallee resolves a call to its static *types.Func, also
+// returning the receiver expression for method calls.
+func staticCallee(info *types.Info, c *ast.CallExpr) (fn *types.Func, recv ast.Expr) {
+	switch f := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		if fo, ok := info.Uses[f].(*types.Func); ok {
+			return fo, nil
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok && sel != nil {
+			if fo, ok := sel.Obj().(*types.Func); ok {
+				return fo, f.X
+			}
+			return nil, nil
+		}
+		if fo, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fo, nil
+		}
+	}
+	return nil, nil
+}
+
+func (in *interp) call(c *ast.CallExpr) []tval {
+	// Type conversion: taint passes through.
+	if tv, ok := in.info.Types[c.Fun]; ok && tv.IsType() {
+		if len(c.Args) == 1 {
+			return []tval{in.expr(c.Args[0])}
+		}
+		return []tval{{}}
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+		if _, ok := in.info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "append":
+				out := tval{}
+				for _, a := range c.Args {
+					out = mergeVal(out, in.expr(a))
+				}
+				return []tval{out}
+			case "copy":
+				if len(c.Args) == 2 {
+					src := in.expr(c.Args[1])
+					in.taintObj(rootObj(in.info, c.Args[0]), src)
+				}
+				return []tval{{}}
+			case "len", "cap", "make", "new", "delete", "clear", "min", "max":
+				for _, a := range c.Args {
+					in.expr(a)
+				}
+				return []tval{{}}
+			default:
+				for _, a := range c.Args {
+					in.expr(a)
+				}
+				return []tval{{}}
+			}
+		}
+	}
+
+	fn, recvExpr := staticCallee(in.info, c)
+
+	// Argument values; for methods the receiver is argument 0.
+	var argExprs []ast.Expr
+	if recvExpr != nil {
+		argExprs = append(argExprs, recvExpr)
+	}
+	argExprs = append(argExprs, c.Args...)
+	args := make([]tval, len(argExprs))
+	for i, a := range argExprs {
+		args[i] = in.expr(a)
+	}
+
+	if fn == nil {
+		// Dynamic call through a function value: apply every summary the
+		// value may hold; with none, optimistically assume the callee
+		// may sanitize its arguments (the BuildSynopsis perturb pattern)
+		// and returns clean data.
+		fv := in.expr(c.Fun)
+		n := 1
+		if sig, ok := in.info.Types[c.Fun].Type.Underlying().(*types.Signature); ok {
+			n = sig.Results().Len()
+		}
+		if len(fv.funcs) == 0 {
+			for _, a := range argExprs {
+				if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+					in.noiseObj(in.info.ObjectOf(id))
+				}
+			}
+			return make([]tval, max(n, 1))
+		}
+		out := make([]tval, max(n, 1))
+		for _, s := range fv.funcs {
+			res := in.applySummary(s, args, argExprs, c)
+			for i := range out {
+				if i < len(res) {
+					out[i] = mergeVal(out[i], res[i])
+				}
+			}
+		}
+		return out
+	}
+
+	key := funcKey(fn)
+	nres := 0
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		nres = sig.Results().Len()
+	}
+	out := make([]tval, max(nres, 1))
+
+	// Declared sinks.
+	if sinkParams, ok := in.engine.facts.sinks[key]; ok {
+		for _, pi := range sinkParams {
+			if pi < len(args) {
+				in.hitSink(args[pi], key, nil, c.Pos())
+			}
+		}
+	}
+	// Sink types: any method call on e.g. net/http.ResponseWriter
+	// publishes all its arguments.
+	if rk := recvTypeKey(fn); rk != "" && in.engine.facts.sinkTypes[rk] {
+		for i := 1; i < len(args); i++ {
+			in.hitSink(args[i], key, nil, c.Pos())
+		}
+	}
+	// Declared sources.
+	if results, ok := in.engine.facts.sources[key]; ok {
+		for _, ri := range results {
+			if ri < len(out) {
+				out[ri] = tval{raw: &provenance{desc: "raw data from " + key, pos: c.Pos()}}
+			}
+		}
+		return out
+	}
+	// Declared sanitizers.
+	if ps, ok := in.engine.facts.sanParams[key]; ok || len(in.engine.facts.sanResults[key]) > 0 {
+		for _, pi := range ps {
+			if pi < len(argExprs) {
+				if id, ok := ast.Unparen(argExprs[pi]).(*ast.Ident); ok {
+					in.noiseObj(in.info.ObjectOf(id))
+				}
+			}
+		}
+		for _, ri := range in.engine.facts.sanResults[key] {
+			if ri < len(out) {
+				out[ri] = tval{noised: true}
+			}
+		}
+		return out
+	}
+	// Whole sanitizer packages (internal/noise): every result is noise.
+	if fn.Pkg() != nil && in.engine.facts.sanPkgs[fn.Pkg().Path()] {
+		for i := range out {
+			out[i] = tval{noised: true}
+		}
+		return out
+	}
+	// Context polls.
+	if rk := recvTypeKey(fn); rk == "context.Context" && (fn.Name() == "Err" || fn.Name() == "Done") {
+		in.sum.polls = true
+	}
+
+	// Summarized module function.
+	if s := in.engine.summaries[fn]; s != nil {
+		return in.applySummary(s, args, argExprs, c)
+	}
+	// Unknown callee (stdlib, interface method, vendored code): taint
+	// flows from arguments to results — strconv.FormatFloat must not
+	// launder a raw count — but nothing sanitizes without a declared
+	// fact in lint.facts.
+	through := tval{}
+	for _, a := range args {
+		through = mergeVal(through, tval{raw: a.raw, noised: a.noised, params: a.params})
+	}
+	for i := range out {
+		out[i] = through
+	}
+	return out
+}
+
+// applySummary transfers a callee summary into the caller: sink hits,
+// argument mutations, sanitization, poll reachability, and result
+// taint.
+func (in *interp) applySummary(s *funcSummary, args []tval, argExprs []ast.Expr, c *ast.CallExpr) []tval {
+	if s.polls {
+		in.sum.polls = true
+	}
+	for pi, rec := range s.sinks {
+		if pi < len(args) {
+			in.hitSink(args[pi], rec.sink, append([]string{s.name}, rec.via...), c.Pos())
+		}
+	}
+	for pi := range s.argRaw {
+		if pi < len(argExprs) {
+			in.taintObj(rootObj(in.info, argExprs[pi]), tval{
+				raw: &provenance{desc: "written by " + s.name, pos: c.Pos(), prev: s.argRaw[pi]},
+			})
+		}
+	}
+	for pi, srcBits := range s.argFlows {
+		if pi >= len(argExprs) {
+			continue
+		}
+		v := tval{}
+		for j := range args {
+			if srcBits&(1<<uint(j)) != 0 {
+				v = mergeVal(v, args[j])
+			}
+		}
+		if v.tainted() {
+			in.taintObj(rootObj(in.info, argExprs[pi]), v)
+		}
+	}
+	for pi := range argExprs {
+		if s.sanitizes&(1<<uint(pi)) != 0 {
+			if id, ok := ast.Unparen(argExprs[pi]).(*ast.Ident); ok {
+				in.noiseObj(in.info.ObjectOf(id))
+			}
+		}
+	}
+	out := make([]tval, max(len(s.resultRaw), 1))
+	for i := range s.resultRaw {
+		v := tval{}
+		if s.resultRaw[i] != nil {
+			v.raw = &provenance{desc: "returned by " + s.name, pos: c.Pos(), prev: s.resultRaw[i]}
+		}
+		for j := range args {
+			if s.flows[i]&(1<<uint(j)) != 0 {
+				v = mergeVal(v, args[j])
+			}
+		}
+		if v.raw != nil && s.resultRaw[i] == nil {
+			// Raw data flowed in through an argument: record the helper as
+			// a hop so the trace names every function it passed through.
+			v.raw = &provenance{desc: "through " + s.name, pos: c.Pos(), prev: v.raw}
+		}
+		if s.resultNoised[i] && v.raw == nil {
+			v.noised = true
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// hitSink handles a value arriving at a publish sink: raw data is a
+// finding (Phase B) and parameter-derived data becomes a summary entry
+// so callers inherit the obligation.
+func (in *interp) hitSink(v tval, sink string, via []string, pos token.Pos) {
+	if v.noised {
+		return
+	}
+	if v.raw != nil && in.report != nil {
+		hop := &provenance{desc: "published by " + sink, pos: pos, prev: v.raw}
+		in.report(pos, fmt.Sprintf("raw (un-noised) data reaches publish sink %s; route it through internal/noise first", sink),
+			hop.trace(in.engine.fset))
+	}
+	for j := 0; j < 64; j++ {
+		if v.params&(1<<uint(j)) != 0 {
+			if _, ok := in.sum.sinks[j]; !ok {
+				in.sum.sinks[j] = &sinkRecord{sink: sink, via: via}
+			}
+		}
+	}
+}
+
+// pollsIn reports whether the statement contains a direct ctx.Err()/
+// ctx.Done() call or a call to a summarized function that polls.
+func (e *engine) pollsIn(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := staticCallee(info, c)
+		if fn == nil {
+			return true
+		}
+		if rk := recvTypeKey(fn); rk == "context.Context" && (fn.Name() == "Err" || fn.Name() == "Done") {
+			found = true
+			return false
+		}
+		if s := e.summaries[fn]; s != nil && s.polls {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

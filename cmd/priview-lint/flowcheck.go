@@ -1,0 +1,408 @@
+// The four dataflow analyzers built on the engine: privflow (noise
+// before publish), ctxflow (data-dependent loops poll their context),
+// budgetlit (no literal ε/δ outside approved boundaries), and hotalloc
+// (no allocations inside loops marked //lint:hot).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var privflowAnalyzer = &Analyzer{
+	Name: "privflow",
+	Doc:  "no path from raw dataset counts to a publish sink without an intervening internal/noise call (sinks/sanitizers declared in lint.facts)",
+	Run:  runPrivflow,
+}
+
+func runPrivflow(pass *Pass) {
+	if pass.Engine == nil {
+		return
+	}
+	// The interpreter walks loop bodies twice for loop-carried taint, so
+	// identical hits deduplicate by position and message.
+	type repKey struct {
+		pos token.Pos
+		msg string
+	}
+	seen := make(map[repKey]bool)
+	pass.Engine.reportInto(pass.pkg, func(pos token.Pos, msg string, trace []string) {
+		k := repKey{pos, msg}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		pass.ReportTrace(pos, msg, trace)
+	})
+}
+
+var ctxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "data-dependent-trip-count loops in solver packages must reach a ctx.Err()/ctx.Done() poll (scope declared in lint.facts)",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	if pass.Engine == nil || !pass.Engine.facts.ctxScope[pass.Path] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			kind, candidate := classifyLoop(pass.Info, loop)
+			if !candidate {
+				return true
+			}
+			if pass.Engine.pollsIn(pass.Info, loop.Body) {
+				return true
+			}
+			pass.Reportf(loop.Pos(),
+				"%s has a data-dependent trip count but never polls ctx.Err()/ctx.Done(); a cancellation request cannot stop it", kind)
+			return true
+		})
+	}
+}
+
+// classifyLoop decides whether a for statement's trip count is
+// data-dependent. Range loops are bounded by their operand and counted
+// loops by their bound expression; only unbounded forms and counted
+// loops with a huge constant cap are candidates.
+func classifyLoop(info *types.Info, loop *ast.ForStmt) (string, bool) {
+	if loop.Cond == nil {
+		return "unbounded for-loop", true
+	}
+	if loop.Init == nil && loop.Post == nil {
+		return "condition-controlled loop", true
+	}
+	// Three-clause loop: data-dependent only when the bound is a
+	// constant large enough that "it finishes quickly" is not an
+	// argument (convergence caps like maxIter = 500000).
+	const hugeTrip = 1024
+	cmp, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return "", false
+	}
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		tv, ok := info.Types[side]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			continue
+		}
+		if v, ok := constant.Int64Val(tv.Value); ok && v > hugeTrip {
+			return fmt.Sprintf("counted loop with cap %d", v), true
+		}
+	}
+	return "", false
+}
+
+var budgetlitAnalyzer = &Analyzer{
+	Name: "budgetlit",
+	Doc:  "no float ε/δ literals flowing into noise.* or core.Config outside cmd/ flag parsing; budget comes from internal/privacy accounting",
+	Run:  runBudgetlit,
+}
+
+func runBudgetlit(pass *Pass) {
+	if pass.Engine == nil {
+		return
+	}
+	facts := pass.Engine.facts
+	if strings.Contains(pass.Path+"/", "/cmd/") {
+		return // flag-parsing boundary: literal defaults are the CLI's job
+	}
+	if _, exempt := facts.budgetExemptFor(pass.Path); exempt {
+		return
+	}
+	for _, f := range pass.Files {
+		litVars := literalFloatVars(pass.Info, f)
+		isLit := func(e ast.Expr) bool {
+			e = ast.Unparen(e)
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				k := tv.Value.Kind()
+				return k == constant.Float || k == constant.Int
+			}
+			if id, ok := e.(*ast.Ident); ok {
+				return litVars[pass.Info.ObjectOf(id)]
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn, recv := staticCallee(pass.Info, n)
+				if fn == nil {
+					return true
+				}
+				ps, ok := facts.budgetParams[funcKey(fn)]
+				if !ok {
+					return true
+				}
+				shift := 0
+				if recv != nil {
+					shift = 1
+				}
+				for _, pi := range ps {
+					ai := pi - shift
+					if ai < 0 || ai >= len(n.Args) {
+						continue
+					}
+					if isLit(n.Args[ai]) {
+						pass.Reportf(n.Args[ai].Pos(),
+							"literal privacy budget passed to %s; ε/δ must come from internal/privacy accounting", funcKey(fn))
+					}
+				}
+			case *ast.CompositeLit:
+				tname := namedTypeKey(pass.Info.Types[n].Type)
+				if tname == "" {
+					return true
+				}
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !facts.budgetFields[tname+"."+key.Name] {
+						continue
+					}
+					if isLit(kv.Value) {
+						pass.Reportf(kv.Value.Pos(),
+							"literal privacy budget in %s.%s; ε/δ must come from internal/privacy accounting", tname, key.Name)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					fieldKey := selectedFieldKey(pass.Info, sel)
+					if fieldKey == "" || !facts.budgetFields[fieldKey] {
+						continue
+					}
+					if isLit(n.Rhs[i]) {
+						pass.Reportf(n.Rhs[i].Pos(),
+							"literal privacy budget assigned to %s; ε/δ must come from internal/privacy accounting", fieldKey)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// literalFloatVars collects local variables whose initialization is a
+// bare float literal — `eps := 1.0` — so one level of indirection does
+// not hide a literal budget. A variable written again after its
+// definition (an accumulator like `total := 0.0; total += x`) is no
+// longer a literal and is dropped.
+func literalFloatVars(info *types.Info, f *ast.File) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if bl, ok := ast.Unparen(as.Rhs[i]).(*ast.BasicLit); ok &&
+				(bl.Kind == token.FLOAT || bl.Kind == token.INT) {
+				if obj := info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if n.Tok == token.DEFINE && out[obj] {
+					continue // the defining literal assignment itself
+				}
+				delete(out, obj)
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				delete(out, info.ObjectOf(id))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					delete(out, info.ObjectOf(id))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// namedTypeKey renders "pkgpath.Type" for a (possibly pointered) named
+// type, or "".
+func namedTypeKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	}
+	return ""
+}
+
+// selectedFieldKey renders "pkgpath.Type.Field" for a field selection,
+// or "".
+func selectedFieldKey(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s == nil || s.Kind() != types.FieldVal {
+		return ""
+	}
+	tname := namedTypeKey(s.Recv())
+	if tname == "" {
+		return ""
+	}
+	return tname + "." + sel.Sel.Name
+}
+
+var hotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no make/append/map-insert/closure/interface-boxing inside loops marked //lint:hot",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) {
+	for _, f := range pass.Files {
+		hotLines := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == "lint:hot" {
+					hotLines[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		if len(hotLines) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			line := pass.Fset.Position(n.Pos()).Line
+			if !hotLines[line] && !hotLines[line-1] {
+				return true
+			}
+			checkHotBody(pass, body)
+			return true
+		})
+	}
+}
+
+// checkHotBody flags every allocation or boxing site inside a hot loop
+// body.
+func checkHotBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make", "new", "append":
+						pass.Reportf(n.Pos(), "%s inside a //lint:hot loop allocates; hoist the buffer out of the loop", id.Name)
+					}
+					return true
+				}
+			}
+			// Conversion to an interface type boxes the operand.
+			if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+				if types.IsInterface(tv.Type) && len(n.Args) == 1 {
+					if atv, ok := pass.Info.Types[n.Args[0]]; ok && atv.Type != nil && !types.IsInterface(atv.Type) {
+						pass.Reportf(n.Pos(), "conversion to interface inside a //lint:hot loop boxes its operand (allocates)")
+					}
+				}
+				return true
+			}
+			checkBoxingArgs(pass, n)
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "composite literal inside a //lint:hot loop allocates; hoist it out of the loop")
+			return false
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure inside a //lint:hot loop allocates; hoist it out of the loop")
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if tv, ok := pass.Info.Types[ix.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(lhs.Pos(), "map insert inside a //lint:hot loop may allocate; precompute the table outside the loop")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkBoxingArgs flags concrete values passed to interface-typed
+// parameters inside hot loops — each such argument escapes to the heap.
+func checkBoxingArgs(pass *Pass, call *ast.CallExpr) {
+	fn, recv := staticCallee(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	_ = recv
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := pass.Info.Types[arg]
+		if !ok || atv.Type == nil || types.IsInterface(atv.Type) {
+			continue
+		}
+		if b, ok := atv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes into interface parameter %s of %s inside a //lint:hot loop (allocates)",
+			pt.String(), funcKey(fn))
+	}
+}

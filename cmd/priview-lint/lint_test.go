@@ -12,15 +12,40 @@ import (
 	"testing"
 )
 
-// sharedLoader amortizes stdlib type-checking (the expensive part of
-// the source importer) across the golden-file tests.
+// sharedLoader amortizes stdlib import resolution across the
+// golden-file tests. Testdata packages loaded under their own demo
+// import paths share it; packages that impersonate a real module path
+// (internal/noise, internal/attrset, internal/reconstruct) must use an
+// isolated loader so the impersonation cannot collide with the real
+// package pulled in as a dependency of another test's testdata.
 var sharedLoader = sync.OnceValues(func() (*loader, error) {
 	return newLoader(filepath.Join("..", ".."))
 })
 
-func loadTestdata(t *testing.T, dir, importPath string) *lintPackage {
+var sharedFacts = sync.OnceValues(func() (*factsTable, error) {
+	return loadFacts(filepath.Join("..", "..", "lint.facts"))
+})
+
+func testFacts(t *testing.T) *factsTable {
 	t.Helper()
-	l, err := sharedLoader()
+	facts, err := sharedFacts()
+	if err != nil {
+		t.Fatalf("lint.facts: %v", err)
+	}
+	return facts
+}
+
+// loadTestdata loads one testdata package plus an engine over
+// everything the chosen loader has seen so far.
+func loadTestdata(t *testing.T, dir, importPath string, isolated bool) (*lintPackage, *engine) {
+	t.Helper()
+	var l *loader
+	var err error
+	if isolated {
+		l, err = newLoader(filepath.Join("..", ".."))
+	} else {
+		l, err = sharedLoader()
+	}
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
@@ -28,7 +53,7 @@ func loadTestdata(t *testing.T, dir, importPath string) *lintPackage {
 	if err != nil {
 		t.Fatalf("loading testdata/src/%s: %v", dir, err)
 	}
-	return pkg
+	return pkg, newEngine(testFacts(t), l.fset, l.allInOrder())
 }
 
 // wantRe matches the expectation comments embedded in testdata files:
@@ -59,15 +84,17 @@ func expectations(t *testing.T, dir string) map[string]bool {
 	return want
 }
 
-// checkGolden runs every analyzer over one testdata package and
-// requires the surviving findings to match the want markers exactly —
-// both directions: no missing findings, no unexpected ones.
-func checkGolden(t *testing.T, dir, importPath string) {
+// checkGolden runs every analyzer (with the whole-program engine) over
+// one testdata package and requires the surviving findings to match the
+// want markers exactly — both directions: no missing findings, no
+// unexpected ones.
+func checkGolden(t *testing.T, dir, importPath string, isolated bool) []Finding {
 	t.Helper()
-	pkg := loadTestdata(t, dir, importPath)
+	pkg, eng := loadTestdata(t, dir, importPath, isolated)
 	want := expectations(t, dir)
+	findings := runAnalyzers(pkg, eng)
 	got := make(map[string]bool)
-	for _, f := range runAnalyzers(pkg) {
+	for _, f := range findings {
 		got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check)] = true
 	}
 	var missing, unexpected []string
@@ -89,48 +116,103 @@ func checkGolden(t *testing.T, dir, importPath string) {
 	if len(unexpected) > 0 {
 		t.Errorf("unexpected findings: %v", unexpected)
 	}
+	return findings
 }
 
 func TestRandsourceGolden(t *testing.T) {
-	checkGolden(t, "randsource", "priview/internal/randdemo")
+	checkGolden(t, "randsource", "priview/internal/randdemo", false)
 }
 
 func TestRandsourceAllowedPackage(t *testing.T) {
 	// Loaded as internal/noise itself: the import is allowed, the
 	// wall-clock seed still is not.
-	checkGolden(t, "randsource_ok", "priview/internal/noise")
+	checkGolden(t, "randsource_ok", "priview/internal/noise", true)
 }
 
 func TestFloatcmpGolden(t *testing.T) {
-	checkGolden(t, "floatcmp", "priview/internal/floatdemo")
+	checkGolden(t, "floatcmp", "priview/internal/floatdemo", false)
 }
 
 func TestErrdiscardGolden(t *testing.T) {
-	checkGolden(t, "errdiscard", "priview/internal/errdemo")
+	checkGolden(t, "errdiscard", "priview/internal/errdemo", false)
 }
 
 func TestPanicmsgGolden(t *testing.T) {
-	checkGolden(t, "panicmsg", "priview/internal/panicdemo")
+	checkGolden(t, "panicmsg", "priview/internal/panicdemo", false)
 }
 
 func TestAttrsetGolden(t *testing.T) {
-	checkGolden(t, "attrset", "priview/internal/attrsetdemo")
+	checkGolden(t, "attrset", "priview/internal/attrsetdemo", false)
 }
 
 func TestAttrsetAllowedPackage(t *testing.T) {
 	// The same offending shapes loaded as internal/attrset itself: the
 	// canonical implementation is exempt, so nothing may be reported.
-	pkg := loadTestdata(t, "attrset", "priview/internal/attrset")
-	for _, f := range runAnalyzers(pkg) {
+	pkg, eng := loadTestdata(t, "attrset", "priview/internal/attrset", true)
+	for _, f := range runAnalyzers(pkg, eng) {
 		if f.Check == "attrset" {
 			t.Errorf("attrset finding inside the attrset package itself: %v", f)
 		}
 	}
 }
 
+func TestPrivflowGolden(t *testing.T) {
+	checkGolden(t, "privflow", "priview/internal/privflowdemo", false)
+}
+
+// TestPrivflowTrace pins the multi-hop trace on the seeded leak: the
+// finding must walk from the dataset source through the helper chain to
+// the HTTP sink.
+func TestPrivflowTrace(t *testing.T) {
+	pkg, eng := loadTestdata(t, "privflow", "priview/internal/privflowdemo", false)
+	findings := runAnalyzers(pkg, eng)
+	var leak *Finding
+	for i := range findings {
+		if findings[i].Check == "privflow" && findings[i].Pos.Line == 32 {
+			leak = &findings[i]
+		}
+	}
+	if leak == nil {
+		t.Fatalf("no privflow finding on the seeded handleLeak line; got %v", findings)
+	}
+	if len(leak.Trace) < 3 {
+		t.Fatalf("trace has %d hops, want >= 3 (source, helper, sink): %v", len(leak.Trace), leak.Trace)
+	}
+	joined := strings.Join(leak.Trace, "\n")
+	for _, needle := range []string{"Marginal", "rawCount", "published by"} {
+		if !strings.Contains(joined, needle) {
+			t.Errorf("trace missing %q:\n%s", needle, joined)
+		}
+	}
+	if !strings.Contains(leak.Trace[0], "raw data from") {
+		t.Errorf("trace should start at the raw source, got %q", leak.Trace[0])
+	}
+}
+
+func TestCtxflowGolden(t *testing.T) {
+	// Impersonates internal/reconstruct so the ctxflow-scope fact
+	// applies; isolated loader keeps the impersonation out of the shared
+	// cache.
+	checkGolden(t, "ctxflow", "priview/internal/reconstruct", true)
+}
+
+func TestBudgetlitGolden(t *testing.T) {
+	checkGolden(t, "budgetlit", "priview/internal/budgetdemo", false)
+}
+
+func TestHotallocGolden(t *testing.T) {
+	checkGolden(t, "hotalloc", "priview/internal/hotdemo", false)
+}
+
+func TestUnusedIgnoreGolden(t *testing.T) {
+	checkGolden(t, "unusedignore", "priview/internal/ignoredemo", false)
+}
+
 func TestMalformedDirectives(t *testing.T) {
-	pkg := loadTestdata(t, "directive", "priview/internal/directivedemo")
-	findings := runAnalyzers(pkg)
+	// nil engine: directive-syntax findings must not depend on the
+	// dataflow analyzers having run.
+	pkg, _ := loadTestdata(t, "directive", "priview/internal/directivedemo", false)
+	findings := runAnalyzers(pkg, nil)
 	if len(findings) != 2 {
 		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
 	}
@@ -163,9 +245,9 @@ func TestLintMainJSON(t *testing.T) {
 	defer stderr.Close()
 
 	code := lintMain([]string{"-json", "cmd/priview-lint/testdata/src/floatcmp"}, stdout, stderr)
-	if code != 1 {
+	if code != exitDirty {
 		data, _ := os.ReadFile(stderr.Name())
-		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, data)
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitDirty, data)
 	}
 	data, err := os.ReadFile(stdout.Name())
 	if err != nil {
@@ -186,6 +268,84 @@ func TestLintMainJSON(t *testing.T) {
 	for _, f := range findings {
 		if f.Check != "floatcmp" {
 			t.Errorf("finding %+v: check = %q, want floatcmp", f, f.Check)
+		}
+	}
+}
+
+// TestLoadErrorExit3 feeds the driver a package that cannot compile:
+// the exit code must be 3 and stderr must carry a positioned diagnostic
+// naming the broken file.
+func TestLoadErrorExit3(t *testing.T) {
+	stdout, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stdout.Close()
+	stderr, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stderr.Close()
+
+	code := lintMain([]string{"cmd/priview-lint/testdata/src/broken"}, stdout, stderr)
+	if code != exitLoad {
+		t.Fatalf("exit code = %d, want %d", code, exitLoad)
+	}
+	data, err := os.ReadFile(stderr.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "load failed") {
+		t.Errorf("stderr should announce the failed load, got:\n%s", out)
+	}
+	if !strings.Contains(out, "broken.go") {
+		t.Errorf("stderr should name the broken file, got:\n%s", out)
+	}
+	if !strings.Contains(out, "undefinedSymbol") {
+		t.Errorf("stderr should carry the type error, got:\n%s", out)
+	}
+}
+
+// TestPermutationInvariance is the determinism property test: linting
+// the same packages in any command-line (and therefore load) order must
+// produce byte-identical output and the same exit code.
+func TestPermutationInvariance(t *testing.T) {
+	pkgs := []string{
+		"cmd/priview-lint/testdata/src/floatcmp",
+		"cmd/priview-lint/testdata/src/panicmsg",
+		"cmd/priview-lint/testdata/src/attrset",
+	}
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	var first []byte
+	firstCode := -1
+	for _, p := range perms {
+		args := []string{"-json"}
+		for _, i := range p {
+			args = append(args, pkgs[i])
+		}
+		stdout, err := os.CreateTemp(t.TempDir(), "stdout")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := lintMain(args, stdout, stdout)
+		data, err := os.ReadFile(stdout.Name())
+		stdout.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if firstCode == -1 {
+			first, firstCode = data, code
+			if code != exitDirty {
+				t.Fatalf("baseline permutation exited %d, want %d:\n%s", code, exitDirty, data)
+			}
+			continue
+		}
+		if code != firstCode {
+			t.Errorf("permutation %v: exit code %d, want %d", p, code, firstCode)
+		}
+		if string(data) != string(first) {
+			t.Errorf("permutation %v: output differs from baseline\n--- baseline ---\n%s\n--- got ---\n%s", p, first, data)
 		}
 	}
 }

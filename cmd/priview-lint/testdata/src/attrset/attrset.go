@@ -1,0 +1,78 @@
+// Package attrsetdemo exercises the attrset analyzer: hand-rolled
+// bitmask building and membership tests must be flagged, while
+// bit-gather shifts, size computations and constant bit positions must
+// not.
+package attrsetdemo
+
+// buildMask accumulates a set mask by hand — the idiom internal/attrset
+// replaced.
+func buildMask(attrs []int) uint64 {
+	var m uint64
+	for _, a := range attrs {
+		m |= 1 << uint(a) // want:attrset
+	}
+	return m
+}
+
+// buildMaskConverted uses an explicit conversion on the shiftee.
+func buildMaskConverted(attrs []int) uint64 {
+	var m uint64
+	for _, a := range attrs {
+		m |= uint64(1) << uint(a) // want:attrset
+	}
+	return m
+}
+
+// remove drops a list of attributes by hand.
+func remove(m uint64, attrs []int) uint64 {
+	for _, a := range attrs {
+		m &^= 1 << uint(a) // want:attrset
+	}
+	return m
+}
+
+// containsAll tests membership by hand while walking an attribute list.
+func containsAll(m uint64, attrs []int) bool {
+	for _, a := range attrs {
+		if m&(1<<uint(a)) == 0 { // want:attrset
+			return false
+		}
+	}
+	return true
+}
+
+// packRecord builds a data record word: the shift amount is a loop
+// counter over positions, not a ranged attribute value, so it stays
+// legal even though it looks like mask accumulation.
+func packRecord(bits []bool) uint64 {
+	var rec uint64
+	for j := 0; j < len(bits); j++ {
+		if bits[j] {
+			rec |= 1 << uint(j)
+		}
+	}
+	return rec
+}
+
+// tableSize computes 2^dim as a cell count: a shift of 1 that is not
+// combined into a mask, so it stays legal.
+func tableSize(dim int) int {
+	return 1 << uint(dim)
+}
+
+// gather is the RestrictIndex-style bit gather: the shiftee is a
+// extracted bit, not the constant 1.
+func gather(idx int, pos []int) int {
+	out := 0
+	for j, p := range pos {
+		out |= ((idx >> uint(p)) & 1) << uint(j)
+	}
+	return out
+}
+
+// fixedFlag sets a compile-time-constant bit position — a flags word,
+// not an attribute set.
+func fixedFlag(m uint64) uint64 {
+	m |= 1 << 3
+	return m
+}

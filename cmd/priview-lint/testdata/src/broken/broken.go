@@ -1,0 +1,7 @@
+// A deliberately uncompilable package: the driver must refuse to
+// analyze it and exit with status 3, printing the type error.
+package broken
+
+func oops() int {
+	return undefinedSymbol
+}

@@ -1,0 +1,48 @@
+// Seeded budgetlit violations: literal ε/δ handed to noise primitives
+// or core.Config outside the cmd/ flag-parsing boundary. The clean path
+// draws its budget from the internal/privacy accountant.
+package budgetdemo
+
+import (
+	"priview/internal/core"
+	"priview/internal/noise"
+	"priview/internal/privacy"
+)
+
+// scaleFromLiteral hardcodes ε at the mechanism call.
+func scaleFromLiteral() float64 {
+	return noise.LaplaceMechScale(1.0, 0.5) // want:budgetlit
+}
+
+// scaleFromVar hides the literal behind one local variable; the
+// one-level indirection must not launder it.
+func scaleFromVar() float64 {
+	eps := 0.5
+	return noise.LaplaceMechScale(1.0, eps) // want:budgetlit
+}
+
+// sigmaFromLiteral hardcodes both ε and δ.
+func sigmaFromLiteral() float64 {
+	return noise.GaussianMechSigma(1.0, 0.5, 1e-6) // want:budgetlit want:budgetlit
+}
+
+// configLiteral pins the budget in a Config composite literal.
+func configLiteral() core.Config {
+	return core.Config{Epsilon: 1.0} // want:budgetlit
+}
+
+// fieldAssign pins the budget through a field write.
+func fieldAssign(c *core.Config) {
+	c.Epsilon = 0.25 // want:budgetlit
+}
+
+// fromAccountant draws ε from the accountant — the sanctioned path.
+func fromAccountant(acct *privacy.Accountant) float64 {
+	eps := acct.Remaining()
+	return noise.LaplaceMechScale(1.0, eps)
+}
+
+// configFromAccountant threads accountant budget into the Config.
+func configFromAccountant(acct *privacy.Accountant) core.Config {
+	return core.Config{Epsilon: acct.Remaining()}
+}

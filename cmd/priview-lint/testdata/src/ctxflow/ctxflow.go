@@ -1,0 +1,98 @@
+// Seeded ctxflow violations. The test loads this directory under the
+// import path priview/internal/reconstruct so the ctxflow-scope fact
+// applies; only loops whose trip count depends on data (convergence
+// loops, infinite pumps, huge constant caps) are candidates, and only
+// those that never reach a ctx poll are findings.
+package reconstruct
+
+import "context"
+
+// converge iterates to a tolerance and never looks at its context: a
+// cancellation request cannot stop it.
+func converge(ctx context.Context, x float64) float64 {
+	delta := 1.0
+	for delta > 1e-9 { // want:ctxflow
+		delta *= 0.5
+		x += delta
+	}
+	return x
+}
+
+// convergePolled checks ctx.Err() every sweep — clean.
+func convergePolled(ctx context.Context, x float64) float64 {
+	delta := 1.0
+	for delta > 1e-9 {
+		if ctx.Err() != nil {
+			return x
+		}
+		delta *= 0.5
+		x += delta
+	}
+	return x
+}
+
+// checkCtx is a poll helper; the engine's summaries must carry its
+// poll through the call graph.
+func checkCtx(ctx context.Context) bool {
+	return ctx.Err() != nil
+}
+
+// convergeHelper polls through checkCtx — clean, but only an
+// interprocedural analysis can tell.
+func convergeHelper(ctx context.Context, x float64) float64 {
+	delta := 1.0
+	for delta > 1e-9 {
+		if checkCtx(ctx) {
+			return x
+		}
+		delta *= 0.5
+		x += delta
+	}
+	return x
+}
+
+// pump loops forever without a poll.
+func pump(ctx context.Context, ch chan float64) {
+	for { // want:ctxflow
+		ch <- 1.0
+	}
+}
+
+// pumpPolled selects on ctx.Done() — clean.
+func pumpPolled(ctx context.Context, ch chan float64) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ch <- 1.0:
+		}
+	}
+}
+
+// sweep hides an effectively unbounded loop behind a "constant" cap of
+// a million iterations.
+func sweep(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for i := 0; i < 1<<20; i++ { // want:ctxflow
+		s += 1.0
+	}
+	return s
+}
+
+// boundedByLen is bounded by its input — clean.
+func boundedByLen(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+// smallCap finishes in microseconds — clean.
+func smallCap(ctx context.Context) int {
+	n := 0
+	for i := 0; i < 64; i++ {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+// Seeded hotalloc violations: allocation and boxing sites inside loops
+// marked //lint:hot. Unmarked loops may allocate freely.
+package hotdemo
+
+// box exists to receive an interface argument; passing a concrete
+// float64 to it boxes (allocates).
+func box(v interface{}) {}
+
+type point struct{ x, y float64 }
+
+// sink keeps otherwise-dead values alive so the testdata compiles.
+var sink interface{}
+
+func hotLoop(xs []float64, m map[int]float64) float64 {
+	acc := 0.0
+	//lint:hot
+	for i := range xs {
+		buf := make([]float64, 4) // want:hotalloc
+		buf[0] = xs[i]
+		acc += buf[0]
+		m[i] = xs[i]                        // want:hotalloc
+		p := point{x: xs[i]}                // want:hotalloc
+		f := func() float64 { return acc }  // want:hotalloc
+		box(xs[i])                          // want:hotalloc
+		sink = interface{}(p.x + f() + acc) // want:hotalloc
+	}
+	return acc
+}
+
+func hotAppend(xs []float64) []float64 {
+	var out []float64
+	//lint:hot
+	for _, v := range xs {
+		out = append(out, v) // want:hotalloc
+	}
+	return out
+}
+
+// hotClean is marked hot and allocation-free — no findings.
+func hotClean(xs []float64) float64 {
+	acc := 0.0
+	//lint:hot
+	for i := 0; i < len(xs); i++ {
+		acc += xs[i] * xs[i]
+	}
+	return acc
+}
+
+// cold allocates in an unmarked loop — out of scope.
+func cold(xs []float64) []float64 {
+	var out []float64
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}

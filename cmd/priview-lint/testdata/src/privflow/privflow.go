@@ -1,0 +1,71 @@
+// Package privflowdemo seeds a raw-count→HTTP leak for the privflow
+// analyzer: a marginal pulled straight from the dataset travels through
+// two helpers and reaches a ResponseWriter without ever meeting
+// internal/noise. The noised paths alongside it must stay clean.
+package privflowdemo
+
+import (
+	"net/http"
+	"strconv"
+
+	"priview/internal/dataset"
+	"priview/internal/marginal"
+	"priview/internal/noise"
+)
+
+// rawCount pulls an un-noised marginal out of the dataset — the taint
+// source (hop 1).
+func rawCount(d *dataset.Dataset, attrs []int) *marginal.Table {
+	return d.Marginal(attrs)
+}
+
+// render serializes whatever table it is given — an innocent-looking
+// middle hop (hop 2).
+func render(t *marginal.Table) []byte {
+	return []byte(strconv.FormatFloat(t.Total(), 'g', -1, 64))
+}
+
+// handleLeak publishes the raw count: the seeded leak. The trace must
+// span rawCount → render → ResponseWriter.Write.
+func handleLeak(d *dataset.Dataset, w http.ResponseWriter, r *http.Request) {
+	t := rawCount(d, []int{0, 1})
+	if _, err := w.Write(render(t)); err != nil { // want:privflow
+		return
+	}
+}
+
+// handleNoised applies Laplace noise before publishing — clean.
+func handleNoised(d *dataset.Dataset, src noise.Source, w http.ResponseWriter, r *http.Request) {
+	t := rawCount(d, []int{0, 1})
+	t.AddLaplace(src, 2.0)
+	if _, err := w.Write(render(t)); err != nil {
+		return
+	}
+}
+
+// handleCopy publishes a NoisyCopy and keeps the raw original private —
+// clean.
+func handleCopy(d *dataset.Dataset, src noise.Source, w http.ResponseWriter, r *http.Request) {
+	t := rawCount(d, []int{0})
+	n := t.NoisyCopy(src, 2.0)
+	if _, err := w.Write(render(n)); err != nil {
+		return
+	}
+}
+
+// publishDirect leaks without any helper hops: source and sink in one
+// function.
+func publishDirect(d *dataset.Dataset, w http.ResponseWriter) {
+	if _, err := w.Write(render(d.FullContingency())); err != nil { // want:privflow
+		return
+	}
+}
+
+// noisyTotal demonstrates the additive-noise rule: a raw count plus a
+// Laplace draw is a noised quantity — clean.
+func noisyTotal(d *dataset.Dataset, src noise.Source, w http.ResponseWriter) {
+	total := float64(d.Len()) + noise.Laplace(src, 2.0)
+	if _, err := w.Write([]byte(strconv.FormatFloat(total, 'g', -1, 64))); err != nil {
+		return
+	}
+}

@@ -1,0 +1,15 @@
+// One used and one stale //lint:ignore directive: the stale one must
+// itself be reported once the full analyzer set has run.
+package ignoredemo
+
+// equalish really does compare floats; the suppression is exercised.
+func equalish(a, b float64) bool {
+	//lint:ignore floatcmp demo of a justified suppression; the caller quantizes first
+	return a == b
+}
+
+// plain never triggers floatcmp, so its directive suppresses nothing.
+func plain(a, b int) bool {
+	//lint:ignore floatcmp integers compare exactly; this directive is stale // want:directive
+	return a == b
+}

@@ -210,6 +210,7 @@ func RestrictTable(dim int, posMask uint64) []int32 {
 		}
 	}
 	out := make([]int32, 1<<uint(dim))
+	//lint:hot
 	for i := 1; i < len(out); i++ {
 		out[i] = out[i&(i-1)] + delta[bits.TrailingZeros64(uint64(i))]
 	}

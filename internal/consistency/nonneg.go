@@ -124,6 +124,7 @@ func Ripple(t *marginal.Table, theta float64) {
 	// against pathological θ anyway.
 	maxOps := 64 * len(t.Cells) * (ell + 1)
 	ops := 0
+	//lint:ignore ctxflow the ops/maxOps guard bounds this worklist; on overrun it falls back to Global rather than spinning
 	for len(queue) > 0 {
 		i := queue[0]
 		queue = queue[1:]

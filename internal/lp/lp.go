@@ -355,6 +355,7 @@ func (t *tableau) pivot(row, col int) {
 		pr[j] *= inv
 	}
 	pr[col] = 1 // exact
+	//lint:hot
 	for i, ri := range t.rows {
 		if i == row {
 			continue

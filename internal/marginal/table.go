@@ -150,6 +150,7 @@ func (t *Table) ProjectInto(dst []float64, ridx []int32) {
 	for i := range dst {
 		dst[i] = 0
 	}
+	//lint:hot
 	for i, v := range t.Cells {
 		dst[ridx[i]] += v
 	}

@@ -201,6 +201,7 @@ func MaxEntContext(ctx context.Context, attrs []int, total float64, cons []*marg
 			}
 		}
 		worst := 0.0
+		//lint:hot
 		for i, p := range prep {
 			// Current projection.
 			pr := proj[i]

@@ -84,7 +84,6 @@ func WriteFile(fsys FS, path string, s *core.Synopsis) (err error) {
 	defer func() {
 		if err != nil {
 			// Best-effort cleanup; the temp file is inert either way.
-			//lint:ignore errdiscard cleanup of an already-failed write
 			_ = fsys.Remove(tmpName)
 		}
 	}()
