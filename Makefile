@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos fuzz-short audit bench check
+.PHONY: all build vet lint test race chaos chaos-registry fuzz-short audit bench check
 
 all: build
 
@@ -44,6 +44,17 @@ race:
 chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/server/ ./internal/qcache/ ./cmd/priview-serve/
 
+# The multi-tenant isolation suite: registry unit tests (breaker
+# trip/half-open/recover on a fake clock, bulkheads, LRU eviction with
+# cache-warm handoff, reconciler churn), the two-tenant fault-pinning
+# proof (torn snapshots / NaN poison / slow loader against one release
+# while 12 workers stream the other — zero errors, bounded p99), and
+# the hot-reload race. Always under -race. See DESIGN.md §12.
+chaos-registry:
+	$(GO) test -race ./internal/registry/
+	$(GO) test -race -run 'TestRegistryTenantIsolation' ./internal/chaos/
+	$(GO) test -race -run 'TestReloadRaceServesCleanly' ./cmd/priview-serve/
+
 # The query-cache benchmarks (cached vs uncached reconstruction at the
 # qcache and HTTP layers) plus the attrset before/after suite (pairwise
 # set scan, intersection closure, constraint dedupe, solver hot-loop
@@ -76,4 +87,4 @@ audit:
 	$(GO) run ./cmd/priview build -in $$tmp/data.txt -eps 1.0 -snapshot -out $$tmp/syn.json && \
 	$(GO) run ./cmd/priview audit $$tmp/syn.json
 
-check: build vet lint race chaos fuzz-short audit
+check: build vet lint race chaos chaos-registry fuzz-short audit

@@ -1,4 +1,4 @@
-// Command priview-serve serves a published PriView synopsis over HTTP.
+// Command priview-serve serves published PriView synopses over HTTP.
 // Because a synopsis is already differentially private, serving
 // unlimited marginal queries from it consumes no additional privacy
 // budget — this is the deployment story for a data curator: build once
@@ -6,8 +6,9 @@
 //
 //	priview-serve -synopsis synopsis.json -addr :8080
 //	priview-serve -store /var/lib/priview/snapshots -addr :8080
+//	priview-serve -registry-root /var/lib/priview/releases -addr :8080
 //
-// Endpoints:
+// Single-tenant endpoints (-synopsis / -store):
 //
 //	GET /healthz                          liveness probe (503 while draining)
 //	GET /v1/info                          release metadata
@@ -15,25 +16,45 @@
 //	GET /v1/marginal?attrs=1,5&method=CLN alternative estimator
 //	GET /v1/stats                         query-cache counters
 //
-// Query cache: because the synopsis is immutable, repeated (attrs,
-// method) queries are memoized (-cache-entries / -cache-bytes bound the
-// cache; set both ≤ 0 to disable). -warm k precomputes every ≤k-way
-// marginal in the background at startup and after each reload, so the
-// first real queries hit the cache. Cache counters are served on
-// /v1/stats and logged once a minute.
+// Multi-tenant mode (-registry-root): every subdirectory of the root
+// is a named release (its own snapshot store), served on
 //
-// Durability: the synopsis is checksum-verified and audited against the
-// release invariants before it serves a single query. In -store mode
-// the newest verifiable snapshot is served; corrupt snapshots are
-// quarantined to *.corrupt and the store falls back to an older good
-// one. SIGHUP hot-reloads the synopsis without dropping queries —
-// if the reload fails, the last good synopsis keeps serving.
+//	GET /readyz                           readiness (503 until the first scan)
+//	GET /v1/releases                      registered release names
+//	GET /v1/{release}/info|marginal|stats per-release routes
+//	GET /v1/info|marginal|stats           alias for -default-release
+//
+// Releases load lazily on first query and are failure-isolated from
+// each other: a release whose loads keep failing trips a per-release
+// circuit breaker (-breaker-failures / -breaker-cooldown) and
+// fast-fails with 503 + Retry-After without occupying shared load
+// slots; each release sheds its own excess concurrency
+// (-tenant-inflight, 429) and draws cache memory from one global
+// -cache-bytes budget; at most -max-loaded synopses stay resident
+// (LRU-evicted past that, re-warmed from their hot cache keys on
+// return). SIGHUP — and every -reconcile-interval — rescans the root:
+// new directories serve, removed ones 404, releases with a newer
+// snapshot hot-reload through keep-last-good.
+//
+// Query cache: because a synopsis is immutable, repeated (attrs,
+// method) queries are memoized (-cache-entries / -cache-bytes bound
+// the cache, per release in registry mode; set both ≤ 0 to disable).
+// -warm k precomputes every ≤k-way marginal in the background after
+// each load, so the first real queries hit the cache.
+//
+// Durability: every synopsis is checksum-verified and audited against
+// the release invariants before it serves a single query. In store and
+// registry modes the newest verifiable snapshot is served; corrupt
+// snapshots are quarantined to *.corrupt and loading falls back to an
+// older good one. SIGHUP hot-reloads without dropping queries — if a
+// reload fails, the last good synopsis keeps serving.
 //
 // Failure model: -query-timeout bounds each reconstruction (504 on
-// expiry), -max-inflight sheds excess concurrent queries (429 +
-// Retry-After), and SIGINT/SIGTERM drains gracefully — /healthz flips
-// to 503 so load balancers stop routing, in-flight queries run to
-// completion (up to -drain-timeout), then the listener closes.
+// expiry), -max-inflight sheds excess concurrent queries globally
+// (429 + Retry-After), and SIGINT/SIGTERM drains gracefully —
+// /healthz flips to 503 so load balancers stop routing, in-flight
+// queries run to completion (up to -drain-timeout), then the listener
+// closes.
 package main
 
 import (
@@ -50,47 +71,115 @@ import (
 	"priview/internal/audit"
 	"priview/internal/core"
 	"priview/internal/qcache"
+	"priview/internal/registry"
 	"priview/internal/server"
 	"priview/internal/snapshot"
 )
 
+// drainer is the handler-side drain control both server flavors
+// (singleton and multi-tenant) expose.
+type drainer interface {
+	http.Handler
+	SetDraining(bool)
+}
+
 func main() {
 	synPath := flag.String("synopsis", "", "synopsis file from `priview build` (v1 or v2 snapshot)")
 	storeDir := flag.String("store", "", "snapshot store directory (serves the newest verifiable snapshot)")
+	registryRoot := flag.String("registry-root", "", "multi-tenant registry root: each subdirectory is a release served on /v1/{release}/…")
+	defaultRelease := flag.String("default-release", "", "release the unprefixed /v1/… routes alias in registry mode (empty: named routes only)")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxK := flag.Int("max-k", 12, "largest marginal size a request may ask for")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request reconstruction deadline (0 disables; expiry returns 504)")
 	maxInflight := flag.Int("max-inflight", 64, "concurrent marginal queries before shedding with 429 (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries before closing connections")
-	cacheEntries := flag.Int("cache-entries", 4096, "query-cache entry bound (≤0 together with -cache-bytes ≤0 disables the cache)")
-	cacheBytes := flag.Int64("cache-bytes", 64<<20, "query-cache approximate byte bound (≤0 together with -cache-entries ≤0 disables the cache)")
-	warm := flag.Int("warm", 0, "precompute all marginals of up to this many attributes into the cache at startup and after reloads (0 disables)")
+	cacheEntries := flag.Int("cache-entries", 4096, "query-cache entry bound, per release in registry mode (≤0 together with -cache-bytes ≤0 disables the cache)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "query-cache approximate byte bound — the global budget shared by all releases in registry mode (≤0 together with -cache-entries ≤0 disables the cache)")
+	warm := flag.Int("warm", 0, "precompute all marginals of up to this many attributes into the cache after each load (0 disables)")
+	maxLoaded := flag.Int("max-loaded", 8, "registry mode: synopses resident in memory at once, LRU-evicted past this (<0 disables eviction)")
+	tenantInflight := flag.Int("tenant-inflight", 32, "registry mode: per-release concurrent queries before that release sheds with 429 (<0 disables)")
+	breakerFailures := flag.Int("breaker-failures", 3, "registry mode: consecutive load failures that trip a release's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "registry mode: how long a tripped breaker fast-fails before admitting a probe")
+	reconcileInterval := flag.Duration("reconcile-interval", time.Minute, "registry mode: background rescan period (0 disables; SIGHUP always rescans)")
 	flag.Parse()
-	if (*synPath == "") == (*storeDir == "") {
-		fmt.Fprintln(os.Stderr, "priview-serve: exactly one of -synopsis or -store is required")
+	modes := 0
+	for _, set := range []bool{*synPath != "", *storeDir != "", *registryRoot != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "priview-serve: exactly one of -synopsis, -store or -registry-root is required")
 		os.Exit(2)
-	}
-	src := &source{path: *synPath, dir: *storeDir}
-	syn, from, err := src.load()
-	if err != nil {
-		log.Fatalf("priview-serve: %v", err)
-	}
-	cc := cacheConfig{entries: *cacheEntries, bytes: *cacheBytes, warmK: *warm}
-	swap := server.NewSwappable(cc.wrap(syn))
-	handler, srv := newServer(swap, *addr, server.Options{
-		MaxK:         *maxK,
-		QueryTimeout: *queryTimeout,
-		MaxInflight:  *maxInflight,
-	})
-	if dg := syn.Design(); dg != nil {
-		log.Printf("serving synopsis %s (ε=%g, from %s) on %s", dg.Name(), syn.Epsilon(), from, *addr)
-	} else {
-		log.Printf("serving synopsis (ε=%g, from %s) on %s", syn.Epsilon(), from, *addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cc.warmAsync(ctx, swap.Current())
+
+	opt := server.Options{
+		MaxK:         *maxK,
+		QueryTimeout: *queryTimeout,
+		MaxInflight:  *maxInflight,
+	}
+	var handler drainer
+	var onHUP, onTick func()
+	if *registryRoot != "" {
+		reg, err := registry.New(*registryRoot, registry.Options{
+			MaxLoaded:        orDisabled(*maxLoaded),
+			CacheEntries:     orDisabled(*cacheEntries),
+			CacheBytes:       orDisabled64(*cacheBytes),
+			MaxInflight:      orDisabled(*tenantInflight),
+			BreakerThreshold: *breakerFailures,
+			BreakerCooldown:  *breakerCooldown,
+			WarmK:            *warm,
+		})
+		if err != nil {
+			log.Fatalf("priview-serve: %v", err)
+		}
+		defer reg.Close()
+		if err := reg.Reconcile(ctx); err != nil {
+			log.Fatalf("priview-serve: initial registry scan: %v", err)
+		}
+		if *reconcileInterval > 0 {
+			go reg.Run(ctx, *reconcileInterval)
+		}
+		handler = server.NewMulti(reg, *defaultRelease, opt)
+		onHUP = func() {
+			if err := reg.Reconcile(ctx); err != nil {
+				log.Printf("priview-serve: registry rescan failed: %v", err)
+			}
+		}
+		onTick = func() { logRegistryStats(reg) }
+		log.Printf("serving registry %s (%d releases, default %q) on %s",
+			*registryRoot, len(reg.Releases()), *defaultRelease, *addr)
+	} else {
+		src := &source{path: *synPath, dir: *storeDir}
+		syn, from, err := src.load()
+		if err != nil {
+			log.Fatalf("priview-serve: %v", err)
+		}
+		cc := cacheConfig{entries: *cacheEntries, bytes: *cacheBytes, warmK: *warm}
+		swap := server.NewSwappable(cc.wrap(syn))
+		handler = server.NewWithOptions(swap, opt)
+		if dg := syn.Design(); dg != nil {
+			log.Printf("serving synopsis %s (ε=%g, from %s) on %s", dg.Name(), syn.Epsilon(), from, *addr)
+		} else {
+			log.Printf("serving synopsis (ε=%g, from %s) on %s", syn.Epsilon(), from, *addr)
+		}
+		cc.warmAsync(ctx, swap.Current())
+		onHUP = func() {
+			if err := reload(ctx, src, swap, cc); err != nil {
+				log.Printf("priview-serve: reload failed, keeping last good synopsis: %v", err)
+			}
+		}
+		onTick = func() { logCacheStats(swap) }
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	done := make(chan error, 1)
@@ -104,11 +193,9 @@ func main() {
 			// Listener failed before any signal (e.g. port in use).
 			log.Fatalf("priview-serve: %v", err)
 		case <-hup:
-			if err := reload(ctx, src, swap, cc); err != nil {
-				log.Printf("priview-serve: reload failed, keeping last good synopsis: %v", err)
-			}
+			onHUP()
 		case <-statsTick.C:
-			logCacheStats(swap)
+			onTick()
 		case <-ctx.Done():
 			stop() // a second signal kills immediately via the default handler
 			log.Printf("signal received, draining for up to %v", *drainTimeout)
@@ -122,6 +209,22 @@ func main() {
 			return
 		}
 	}
+}
+
+// orDisabled maps the flag convention (≤0 disables) onto the registry
+// convention (0 means default, negative disables).
+func orDisabled(v int) int {
+	if v <= 0 {
+		return -1
+	}
+	return v
+}
+
+func orDisabled64(v int64) int64 {
+	if v <= 0 {
+		return -1
+	}
+	return v
 }
 
 // source is where the served synopsis comes from: a single file or a
@@ -201,12 +304,13 @@ func (cc cacheConfig) warmAsync(ctx context.Context, q server.Querier) {
 	}
 	go func() {
 		start := time.Now()
-		n, err := cq.Warm(ctx, cc.warmK, 0)
+		warmed, skipped, err := cq.Warm(ctx, cc.warmK, 0)
 		if err != nil {
-			log.Printf("priview-serve: cache warming stopped after %d marginals: %v", n, err)
+			log.Printf("priview-serve: cache warming stopped after %d marginals (%d skipped): %v", warmed, skipped, err)
 			return
 		}
-		log.Printf("priview-serve: warmed %d marginals (≤%d-way) in %v", n, cc.warmK, time.Since(start).Round(time.Millisecond))
+		log.Printf("priview-serve: warmed %d marginals (≤%d-way, %d degraded keys skipped) in %v",
+			warmed, cc.warmK, skipped, time.Since(start).Round(time.Millisecond))
 	}()
 }
 
@@ -221,14 +325,50 @@ func logCacheStats(st server.CacheStatser) {
 		s.Hits, s.Misses, s.Evictions, s.Coalesced, s.Entries, s.Bytes)
 }
 
+// logRegistryStats emits the periodic per-registry summary: residency,
+// the shared cache pool, and any release whose breaker is not closed.
+func logRegistryStats(reg *registry.Registry) {
+	all := reg.Stats()
+	loaded := 0
+	var open []string
+	for _, s := range all {
+		if s.Loaded {
+			loaded++
+		}
+		if s.Breaker != "closed" {
+			open = append(open, fmt.Sprintf("%s=%s", s.Name, s.Breaker))
+		}
+	}
+	line := fmt.Sprintf("priview-serve: registry stats: releases=%d loaded=%d", len(all), loaded)
+	if b := reg.Budget(); b != nil {
+		line += fmt.Sprintf(" cache_bytes=%d/%d", b.Used(), b.Total())
+	}
+	if len(open) > 0 {
+		line += " breakers=" + fmt.Sprint(open)
+	}
+	log.Print(line)
+}
+
 // shutdown drains srv gracefully: the handler's health probe flips to
 // 503 so load balancers stop routing new work, then http.Server.Shutdown
 // waits up to drain for in-flight requests before closing connections.
-func shutdown(srv *http.Server, handler *server.Server, drain time.Duration) error {
+func shutdown(srv *http.Server, handler drainer, drain time.Duration) error {
 	handler.SetDraining(true)
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	return srv.Shutdown(ctx)
+}
+
+// newServer assembles the HTTP server around a loaded synopsis,
+// returning both the PriView handler (for drain control) and the
+// http.Server wrapping it.
+func newServer(syn server.Querier, addr string, opt server.Options) (*server.Server, *http.Server) {
+	handler := server.NewWithOptions(syn, opt)
+	return handler, &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 }
 
 // loadSynopsis reads a synopsis published by `priview build` (bare v1
@@ -251,16 +391,4 @@ func loadSynopsis(path string) (*core.Synopsis, error) {
 		return nil, fmt.Errorf("%s failed its release audit: %w", path, err)
 	}
 	return syn, nil
-}
-
-// newServer assembles the HTTP server around a loaded synopsis,
-// returning both the PriView handler (for drain control) and the
-// http.Server wrapping it.
-func newServer(syn server.Querier, addr string, opt server.Options) (*server.Server, *http.Server) {
-	handler := server.NewWithOptions(syn, opt)
-	return handler, &http.Server{
-		Addr:              addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
 }

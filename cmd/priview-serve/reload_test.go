@@ -3,12 +3,17 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"priview"
 	"priview/internal/core"
@@ -194,5 +199,90 @@ func TestLoadSynopsisAcceptsV2(t *testing.T) {
 	}
 	if _, err := loadSynopsis(path); err != nil {
 		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+}
+
+// TestReloadRaceServesCleanly is the hot-reload race proof behind the
+// SIGHUP contract: 12 query workers hammer the full middleware stack
+// (recovery, shedding disabled so every answer must be a real 200,
+// per-request deadline) while the main goroutine reloads the store 30
+// times, half of them onto a freshly published snapshot. Run under
+// -race this doubles as the data-race check on the swap/cache
+// handoff; any non-200 — a 5xx from a torn swap most of all — fails.
+func TestReloadRaceServesCleanly(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.NewStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(buildSyn(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+	src := &source{dir: dir}
+	syn, _, err := src.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := cacheConfig{entries: 128, bytes: 1 << 20}
+	swap := server.NewSwappable(cc.wrap(syn))
+	handler := server.NewWithOptions(swap, server.Options{
+		MaxK:         6,
+		QueryTimeout: 10 * time.Second,
+	})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := fmt.Sprintf("/v1/marginal?attrs=%d,%d", (w+i)%6, (w+i+1+i%5)%6)
+				if (w+i)%7 == 0 {
+					path = "/v1/stats"
+				}
+				resp, err := client.Get(srv.URL + path)
+				if err != nil {
+					bad.Add(1)
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				//lint:ignore errdiscard draining a test response body
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					bad.Add(1)
+					t.Errorf("worker %d: %s = %d, want 200", w, path, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < 30; i++ {
+		if i%2 == 0 {
+			if _, err := st.Save(buildSyn(t, int64(20+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := reload(ctx, src, swap, cc); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d queries failed across 30 hot reloads, want 0", n)
 	}
 }

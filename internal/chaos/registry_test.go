@@ -1,0 +1,335 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"priview/internal/registry"
+	"priview/internal/server"
+	"priview/internal/snapshot"
+)
+
+// registryChaosFixture is the multi-tenant isolation rig: two real
+// tenants on disk behind a registry and the full Multi middleware
+// stack, with a TenantLoader pinning every injected fault to alpha.
+type registryChaosFixture struct {
+	root   string
+	loader *TenantLoader
+	reg    *registry.Registry
+	ts     *httptest.Server
+}
+
+func newRegistryChaosFixture(t *testing.T) *registryChaosFixture {
+	t.Helper()
+	root := t.TempDir()
+	for i, name := range []string{"alpha", "beta"} {
+		st, err := snapshot.NewStore(filepath.Join(root, name), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Save(durabilitySyn(int64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader := &TenantLoader{Target: "alpha"}
+	reg, err := registry.New(root, registry.Options{
+		Loader:           loader,
+		BreakerThreshold: 3,
+		BreakerCooldown:  200 * time.Millisecond,
+		BackoffBase:      10 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		MaxInflight:      64,
+		CacheEntries:     512,
+		CacheBytes:       1 << 20,
+		Logger:           log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reg.Close)
+	m := server.NewMulti(reg, "beta", server.Options{
+		MaxK:         9,
+		QueryTimeout: time.Second,
+		Logger:       log.New(io.Discard, "", 0),
+	})
+	ts := httptest.NewServer(m)
+	t.Cleanup(ts.Close)
+	return &registryChaosFixture{root: root, loader: loader, reg: reg, ts: ts}
+}
+
+// get fetches a path and returns the status code.
+func (fx *registryChaosFixture) get(t *testing.T, path string) int {
+	t.Helper()
+	resp, err := http.Get(fx.ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	//lint:ignore errdiscard draining a test response body
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// alphaStats decodes /v1/alpha/stats — the isolation proof reads the
+// same observability surface operators do.
+func (fx *registryChaosFixture) alphaStats(t *testing.T) registry.ReleaseStats {
+	t.Helper()
+	resp, err := http.Get(fx.ts.URL + "/v1/alpha/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d, want 200 (stats must answer even for a broken tenant)", resp.StatusCode)
+	}
+	var s registry.ReleaseStats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// tearAlphaSnapshots overwrites every one of alpha's snapshot files
+// with garbage — the torn-disk fault, applied at rest.
+func (fx *registryChaosFixture) tearAlphaSnapshots(t *testing.T) {
+	t.Helper()
+	dir := filepath.Join(fx.root, "alpha")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "snapshot-") && strings.HasSuffix(e.Name(), ".json") {
+			if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte(`{"torn`), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			torn++
+		}
+	}
+	if torn == 0 {
+		t.Fatal("no alpha snapshots found to tear")
+	}
+}
+
+// repairAlpha saves a fresh valid snapshot into alpha's store.
+func (fx *registryChaosFixture) repairAlpha(t *testing.T) {
+	t.Helper()
+	st, err := snapshot.NewStore(filepath.Join(fx.root, "alpha"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(durabilitySyn(7)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// betaStream hammers beta with workers concurrent query loops until
+// stop is closed, recording every latency and any non-200 status.
+type betaStream struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	latencies []time.Duration
+	badCodes  []int
+}
+
+func (fx *registryChaosFixture) startBetaStream(workers int) *betaStream {
+	bs := &betaStream{stop: make(chan struct{})}
+	for w := 0; w < workers; w++ {
+		bs.wg.Add(1)
+		go func(w int) {
+			defer bs.wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; ; i++ {
+				select {
+				case <-bs.stop:
+					return
+				default:
+				}
+				a := (w + i) % 9
+				b := (a + 1 + i%7) % 9
+				if b == a {
+					b = (a + 1) % 9
+				}
+				start := time.Now()
+				resp, err := client.Get(fx.ts.URL + fmt.Sprintf("/v1/beta/marginal?attrs=%d,%d", a, b))
+				elapsed := time.Since(start)
+				code := 0
+				if err == nil {
+					//lint:ignore errdiscard draining a test response body
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					code = resp.StatusCode
+				}
+				bs.mu.Lock()
+				bs.latencies = append(bs.latencies, elapsed)
+				if code != http.StatusOK {
+					bs.badCodes = append(bs.badCodes, code)
+				}
+				bs.mu.Unlock()
+			}
+		}(w)
+	}
+	return bs
+}
+
+// halt stops the stream and returns (p99 latency, bad responses, n).
+func (bs *betaStream) halt() (time.Duration, []int, int) {
+	close(bs.stop)
+	bs.wg.Wait()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return p99(bs.latencies), bs.badCodes, len(bs.latencies)
+}
+
+func p99(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)*99/100]
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRegistryTenantIsolation is the multi-tenant headline proof:
+// three distinct faults (torn snapshots, NaN poison past the loader,
+// a loader slower than the query deadline) are pinned to release
+// alpha while 12 workers stream queries against release beta through
+// the full middleware stack. Beta must see zero non-200 responses and
+// keep its p99 within 2× the fault-free baseline, while alpha's
+// breaker trips, half-opens, and — once the tenant is repaired —
+// recovers, all observed through /v1/alpha/stats.
+func TestRegistryTenantIsolation(t *testing.T) {
+	fx := newRegistryChaosFixture(t)
+
+	// Fault-free baseline: load beta and measure its p99.
+	if code := fx.get(t, "/v1/beta/marginal?attrs=0,1"); code != http.StatusOK {
+		t.Fatalf("beta warmup = %d, want 200", code)
+	}
+	base := fx.startBetaStream(12)
+	time.Sleep(300 * time.Millisecond)
+	baseP99, baseBad, baseN := base.halt()
+	if len(baseBad) > 0 {
+		t.Fatalf("baseline beta stream had %d non-200s: %v", len(baseBad), baseBad)
+	}
+	t.Logf("baseline: %d queries, p99 %v", baseN, baseP99)
+	// Deflake floor: on a tiny baseline, 2× can be microseconds.
+	p99Limit := 2 * baseP99
+	if floor := baseP99 + 25*time.Millisecond; p99Limit < floor {
+		p99Limit = floor
+	}
+
+	// All three fault phases run against alpha with the beta stream
+	// live; the stream's verdict at the end covers every phase.
+	stream := fx.startBetaStream(12)
+
+	// Phase 1 — torn snapshots: every alpha file is garbage, so loads
+	// strike until the breaker opens. Alpha must fail fast (503), and
+	// never 200.
+	fx.tearAlphaSnapshots(t)
+	waitFor(t, 10*time.Second, "alpha breaker to open on torn snapshots", func() bool {
+		if code := fx.get(t, "/v1/alpha/marginal?attrs=0,1"); code == http.StatusOK {
+			t.Fatalf("alpha served 200 from torn snapshots")
+		}
+		return fx.alphaStats(t).Breaker == "open"
+	})
+	s := fx.alphaStats(t)
+	if s.BreakerTrips < 1 || s.LoadFailures < uint64(3) {
+		t.Errorf("torn phase: trips %d failures %d, want ≥1 and ≥3", s.BreakerTrips, s.LoadFailures)
+	}
+
+	// Phase 2 — NaN poison: the tenant's files are repaired, but the
+	// loader now hands back a synopsis with a poisoned cell. Only the
+	// registry's audit gate stands between that synopsis and clients;
+	// the half-open probe must strike and re-open the breaker.
+	fx.repairAlpha(t)
+	fx.loader.SetPoison(true)
+	tripsBefore := s.BreakerTrips
+	waitFor(t, 10*time.Second, "alpha breaker to re-open on poisoned probe", func() bool {
+		if code := fx.get(t, "/v1/alpha/marginal?attrs=0,1"); code == http.StatusOK {
+			t.Fatalf("alpha served 200 from a NaN-poisoned synopsis")
+		}
+		st := fx.alphaStats(t)
+		return st.BreakerTrips > tripsBefore && st.Breaker == "open"
+	})
+	s = fx.alphaStats(t)
+	if s.HalfOpenProbes < 1 {
+		t.Errorf("poison phase ran no half-open probe (probes=%d)", s.HalfOpenProbes)
+	}
+	if !strings.Contains(s.LastError, "audit") {
+		t.Errorf("poison phase last_error = %q, want an audit failure", s.LastError)
+	}
+
+	// Phase 3 — slow loader: loads stall past the query deadline. The
+	// client gets a truthful 504, the strike re-opens the breaker, and
+	// (key isolation property) the stalled probe is the only load slot
+	// alpha can occupy — beta's stream keeps running.
+	fx.loader.SetPoison(false)
+	fx.loader.SetDelay(3 * time.Second)
+	tripsBefore = s.BreakerTrips
+	saw504 := false
+	waitFor(t, 15*time.Second, "alpha breaker to re-open on slow loads", func() bool {
+		code := fx.get(t, "/v1/alpha/marginal?attrs=0,1")
+		if code == http.StatusOK {
+			t.Fatalf("alpha served 200 through a 3s loader with a 1s deadline")
+		}
+		if code == http.StatusGatewayTimeout {
+			saw504 = true
+		}
+		st := fx.alphaStats(t)
+		return st.BreakerTrips > tripsBefore && st.Breaker == "open"
+	})
+	if !saw504 {
+		t.Error("slow-loader phase never surfaced a 504 to the caller")
+	}
+
+	// Recovery: faults off, tenant intact. After the cooldown the next
+	// probe must succeed and close the breaker.
+	fx.loader.SetDelay(0)
+	waitFor(t, 10*time.Second, "alpha to recover after faults cleared", func() bool {
+		return fx.get(t, "/v1/alpha/marginal?attrs=0,1") == http.StatusOK
+	})
+	s = fx.alphaStats(t)
+	if s.Breaker != "closed" || !s.Loaded {
+		t.Errorf("recovered alpha: breaker %q loaded %v, want closed true", s.Breaker, s.Loaded)
+	}
+	if s.BreakerTrips < 3 {
+		t.Errorf("full run tripped %d times, want ≥3 (one per fault phase)", s.BreakerTrips)
+	}
+
+	// The verdict: beta never saw a single failure and its tail
+	// latency stayed within bounds across every alpha fault.
+	p99Faulted, bad, n := stream.halt()
+	if len(bad) > 0 {
+		t.Errorf("beta stream saw %d non-200 responses during alpha faults: %v", len(bad), bad[:min(len(bad), 10)])
+	}
+	t.Logf("faulted phases: %d beta queries, p99 %v (baseline %v, limit %v)", n, p99Faulted, baseP99, p99Limit)
+	if p99Faulted > p99Limit {
+		t.Errorf("beta p99 %v exceeded %v (baseline %v) while alpha faulted", p99Faulted, p99Limit, baseP99)
+	}
+}

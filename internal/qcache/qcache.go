@@ -61,6 +61,74 @@ func KeyFor(attrs []int, method int) (key Key, ok bool) {
 	return Key{Mask: m, Method: method}, true
 }
 
+// Budget is a byte accountant shared by several caches — the
+// multi-tenant registry gives every tenant cache its own LRU and entry
+// bound but makes them all draw from one global byte pool, so the sum
+// of cached table memory across tenants stays under one cap no matter
+// how many tenants are resident. A cache that cannot reserve bytes
+// evicts from its own tail first (tenant-local LRU pressure, never a
+// neighbor's entries) and, if still over, serves the table uncached.
+//
+// A nil *Budget is valid everywhere and means "no shared accounting".
+type Budget struct {
+	mu    sync.Mutex
+	total int64
+	used  int64
+}
+
+// NewBudget returns a shared byte budget. total ≤ 0 means unlimited
+// (the budget still accounts usage, for observability).
+func NewBudget(total int64) *Budget {
+	return &Budget{total: total}
+}
+
+// Total returns the configured cap (≤ 0 = unlimited).
+func (b *Budget) Total() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Used returns the bytes currently reserved across all member caches.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// tryReserve reserves n bytes, failing when the cap would be exceeded.
+func (b *Budget) tryReserve(n int64) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.total > 0 && b.used+n > b.total {
+		return false
+	}
+	b.used += n
+	return true
+}
+
+// release returns n reserved bytes to the pool.
+func (b *Budget) release(n int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.used -= n
+	if b.used < 0 {
+		b.used = 0
+	}
+	b.mu.Unlock()
+}
+
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	// Hits counts lookups answered from a stored table.
@@ -84,6 +152,7 @@ type Stats struct {
 type Cache struct {
 	maxEntries int
 	maxBytes   int64
+	budget     *Budget // nil = no shared accounting
 
 	mu                                 sync.Mutex
 	ll                                 *list.List            // LRU order, front = most recent
@@ -113,9 +182,19 @@ type flight struct {
 // server wants. A single table larger than maxBytes is served but never
 // stored.
 func New(maxEntries int, maxBytes int64) *Cache {
+	return NewShared(maxEntries, maxBytes, nil)
+}
+
+// NewShared is New with the cache's stored bytes additionally accounted
+// against a shared Budget (nil behaves like New). When the shared pool
+// is exhausted the cache evicts from its own LRU tail to make room —
+// never from another budget member — and serves uncached if its own
+// entries cannot free enough.
+func NewShared(maxEntries int, maxBytes int64, budget *Budget) *Cache {
 	return &Cache{
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
+		budget:     budget,
 		ll:         list.New(),
 		items:      make(map[Key]*list.Element),
 		flights:    make(map[Key]*flight),
@@ -219,7 +298,8 @@ func (c *Cache) finish(key Key, f *flight, store *marginal.Table) {
 }
 
 // addLocked inserts a table (which must never be mutated afterwards)
-// and evicts from the LRU tail until the bounds hold.
+// and evicts from the LRU tail until both the local bounds and the
+// shared byte budget hold.
 func (c *Cache) addLocked(key Key, t *marginal.Table) {
 	b := approxBytes(t)
 	if c.maxBytes > 0 && b > c.maxBytes {
@@ -228,26 +308,79 @@ func (c *Cache) addLocked(key Key, t *marginal.Table) {
 	if el, ok := c.items[key]; ok {
 		// Possible when a bypassing writer raced a flight; keep the
 		// newer table.
-		old := el.Value.(*entry)
-		c.bytes -= old.bytes
-		c.ll.Remove(el)
-		delete(c.items, key)
+		c.removeLocked(el)
+	}
+	// Make room in the shared pool by shedding this cache's own cold
+	// tail; other budget members are never touched. If emptying
+	// ourselves still cannot free enough, serve the table uncached.
+	for !c.budget.tryReserve(b) {
+		if !c.evictTailLocked() {
+			return
+		}
 	}
 	e := &entry{key: key, table: t, bytes: b}
 	c.items[key] = c.ll.PushFront(e)
 	c.bytes += e.bytes
 	for (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
 		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
-		back := c.ll.Back()
-		if back == nil {
+		if !c.evictTailLocked() {
 			return
 		}
-		victim := back.Value.(*entry)
-		c.ll.Remove(back)
-		delete(c.items, victim.key)
-		c.bytes -= victim.bytes
-		c.evictions++
 	}
+}
+
+// removeLocked drops one entry, returning its bytes to the shared pool.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+	c.budget.release(e.bytes)
+}
+
+// evictTailLocked evicts the least-recently-used entry, reporting
+// whether there was one.
+func (c *Cache) evictTailLocked() bool {
+	back := c.ll.Back()
+	if back == nil {
+		return false
+	}
+	c.removeLocked(back)
+	c.evictions++
+	return true
+}
+
+// Keys returns the cached query keys, most recently used first. The
+// registry uses this for cache-warm handoff: when a cold tenant is
+// re-admitted after eviction, the keys that were hot at eviction time
+// are replayed to pre-fill the fresh cache.
+func (c *Cache) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]Key, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	return keys
+}
+
+// Purge drops every stored entry, returning their bytes to the shared
+// budget, and reports how many entries were dropped. In-flight solves
+// are unaffected (their results will be stored into the now-empty
+// cache). The registry calls this when evicting a cold tenant so the
+// tenant's quota is returned to the global pool immediately rather
+// than when the garbage collector gets around to it.
+func (c *Cache) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		c.budget.release(el.Value.(*entry).bytes)
+	}
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element)
+	c.bytes = 0
+	return n
 }
 
 // Stats returns a snapshot of the counters and current occupancy.

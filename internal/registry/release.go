@@ -1,0 +1,597 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"priview/internal/core"
+	"priview/internal/qcache"
+	"priview/internal/reconstruct"
+	"priview/internal/server"
+	"priview/internal/snapshot"
+)
+
+// breakerState is the per-release circuit breaker FSM.
+type breakerState int
+
+const (
+	// stateClosed: loads proceed normally (with exponential backoff
+	// between consecutive failures below the trip threshold).
+	stateClosed breakerState = iota
+	// stateOpen: every acquire fast-fails with 503 + Retry-After until
+	// the cooldown elapses; the shared load semaphore is never touched.
+	stateOpen
+	// stateHalfOpen: exactly one acquirer becomes the probe and runs a
+	// real load; everyone else still fast-fails. Success closes the
+	// breaker, failure re-opens it for another full cooldown.
+	stateHalfOpen
+)
+
+// maxHandoffKeys caps how many hot cache keys survive an eviction for
+// warm handoff — enough to restore a working set, bounded so a huge
+// cache cannot turn re-admission into an unbounded replay.
+const maxHandoffKeys = 1024
+
+// release is one tenant's complete serving state. All isolation state
+// is local to this struct: nothing a release does here can reach a
+// sibling except through the two deliberately shared, bounded
+// resources (the registry's load semaphore and cache byte budget).
+type release struct {
+	reg      *Registry
+	name     string
+	store    *snapshot.Store
+	inflight chan struct{} // bulkhead permits; nil = unbounded
+
+	// loadedFlag and lastTouch shadow mu-guarded state for the
+	// registry's lock-free LRU scan.
+	loadedFlag atomic.Bool
+	lastTouch  atomic.Int64
+
+	mu         sync.Mutex
+	loaded     bool
+	retired    bool
+	swap       *server.Swappable // nil until first successful load
+	cache      *qcache.Cache     // nil when caching disabled or evicted
+	loadedPath string            // snapshot file currently served
+	loading    chan struct{}     // non-nil while a load is in flight (singleflight)
+	warmMasks  []qcache.Key      // hot keys saved at eviction, replayed on re-admit
+
+	state        breakerState
+	consecFails  int
+	openedUntil  time.Time     // stateOpen: when the cooldown ends
+	probing      bool          // stateHalfOpen: a probe holds the slot
+	backoff      time.Duration // current inter-failure backoff
+	backoffUntil time.Time
+	lastErr      string
+
+	c counters
+}
+
+// counters are the per-release observability counters; atomics so the
+// stats path never contends with the serving path.
+type counters struct {
+	LoadAttempts   atomic.Uint64
+	LoadFailures   atomic.Uint64
+	Reloads        atomic.Uint64
+	ReloadFailures atomic.Uint64
+	Trips          atomic.Uint64
+	BreakerRejects atomic.Uint64
+	BackoffRejects atomic.Uint64
+	HalfOpenProbes atomic.Uint64
+	Shed           atomic.Uint64
+	Evictions      atomic.Uint64
+	Readmits       atomic.Uint64
+}
+
+func newRelease(reg *Registry, name string, st *snapshot.Store) *release {
+	rl := &release{reg: reg, name: name, store: st}
+	if reg.opt.MaxInflight > 0 {
+		rl.inflight = make(chan struct{}, reg.opt.MaxInflight)
+	}
+	return rl
+}
+
+// lease pins one admitted query to the querier that was current at
+// acquire time: a reload or eviction mid-query cannot change the
+// answer underneath the caller. The embedded Querier is that pinned
+// querier; Close returns the bulkhead permit exactly once.
+type lease struct {
+	server.Querier
+	rl     *release
+	closed atomic.Bool
+}
+
+func (l *lease) Close() {
+	if l.closed.CompareAndSwap(false, true) && l.rl.inflight != nil {
+		<-l.rl.inflight
+	}
+}
+
+// acquire takes a bulkhead permit and resolves the release to a
+// loaded querier, loading it if this is the first hit (or the probe
+// after a breaker cooldown).
+func (rl *release) acquire(ctx context.Context) (server.Lease, error) {
+	if rl.inflight != nil {
+		select {
+		case rl.inflight <- struct{}{}:
+		default:
+			rl.c.Shed.Add(1)
+			return nil, &server.SaturatedError{RetryAfter: rl.reg.opt.RetryAfter}
+		}
+	}
+	q, err := rl.ensure(ctx)
+	if err != nil {
+		if rl.inflight != nil {
+			<-rl.inflight
+		}
+		return nil, err
+	}
+	return &lease{Querier: q, rl: rl}, nil
+}
+
+// ensure returns the release's current querier, driving the breaker
+// FSM and the singleflight load. The loop re-evaluates after every
+// wait; ctx is checked at the top of each pass.
+func (rl *release) ensure(ctx context.Context) (server.Querier, error) {
+	for {
+		if err := reconstruct.ContextErr(ctx); err != nil {
+			return nil, err
+		}
+		rl.mu.Lock()
+		if rl.retired {
+			rl.mu.Unlock()
+			return nil, server.ErrUnknownRelease
+		}
+		if rl.loaded {
+			q := rl.swap.Current()
+			rl.mu.Unlock()
+			rl.lastTouch.Store(rl.reg.nextTouch())
+			return q, nil
+		}
+		now := rl.reg.opt.Now()
+		if rl.state == stateOpen {
+			if now.Before(rl.openedUntil) {
+				remaining := rl.openedUntil.Sub(now)
+				reason := "circuit breaker open"
+				if rl.lastErr != "" {
+					reason += ": " + rl.lastErr
+				}
+				rl.c.BreakerRejects.Add(1)
+				rl.mu.Unlock()
+				return nil, &server.UnavailableError{Reason: reason, RetryAfter: remaining}
+			}
+			rl.state = stateHalfOpen
+		}
+		switch {
+		case rl.state == stateHalfOpen:
+			if rl.probing || rl.loading != nil {
+				rl.c.BreakerRejects.Add(1)
+				rl.mu.Unlock()
+				return nil, &server.UnavailableError{
+					Reason:     "circuit breaker half-open, probe in flight",
+					RetryAfter: rl.reg.opt.RetryAfter,
+				}
+			}
+			rl.probing = true
+			rl.c.HalfOpenProbes.Add(1)
+		case rl.loading != nil:
+			// Someone else is loading; wait for their verdict, then
+			// re-evaluate from scratch.
+			ch := rl.loading
+			rl.mu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				return nil, reconstruct.ContextErr(ctx)
+			}
+		case now.Before(rl.backoffUntil):
+			remaining := rl.backoffUntil.Sub(now)
+			reason := "load backoff"
+			if rl.lastErr != "" {
+				reason += ": " + rl.lastErr
+			}
+			rl.c.BackoffRejects.Add(1)
+			rl.mu.Unlock()
+			return nil, &server.UnavailableError{Reason: reason, RetryAfter: remaining}
+		}
+		ch := make(chan struct{})
+		rl.loading = ch
+		rl.mu.Unlock()
+		return rl.lead(ctx, ch)
+	}
+}
+
+// lead runs the singleflight load as its leader: shared-semaphore
+// admission, the loader, the audit gate, then publish-or-strike.
+func (rl *release) lead(ctx context.Context, ch chan struct{}) (server.Querier, error) {
+	reg := rl.reg
+	rl.c.LoadAttempts.Add(1)
+	var res *snapshot.LoadResult
+	var err error
+	// Breaker-open tenants return before this point, so a broken
+	// tenant in fast-fail never occupies a shared load slot.
+	select {
+	case reg.loadSem <- struct{}{}:
+		res, err = reg.opt.Loader.Load(ctx, rl.name, rl.store)
+		<-reg.loadSem
+	case <-ctx.Done():
+		err = reconstruct.ContextErr(ctx)
+	}
+	if err == nil {
+		for i, q := range res.Quarantined {
+			reg.opt.Logger.Printf("registry: %s: quarantined corrupt snapshot %s: %v", rl.name, q, res.Errs[i])
+		}
+		err = auditGate(res)
+	}
+	if err == nil {
+		return rl.publish(res), nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, reconstruct.ErrCanceled) {
+		// The client went away mid-load — not the tenant's fault, so no
+		// strike. Just release the singleflight so the next caller
+		// leads (a half-open probe slot is returned too).
+		rl.mu.Lock()
+		rl.probing = false
+		rl.loading = nil
+		rl.mu.Unlock()
+		close(ch)
+		return nil, err
+	}
+	return nil, rl.strike(ch, err)
+}
+
+// publish installs a freshly loaded synopsis as the serving state:
+// fresh cache (keys carry no synopsis identity, so caches never
+// survive a data change), breaker closed, residency enforced, warm
+// handoff scheduled.
+func (rl *release) publish(res *snapshot.LoadResult) server.Querier {
+	reg := rl.reg
+	var cache *qcache.Cache
+	var q server.Querier = res.Synopsis
+	if reg.opt.CacheEntries > 0 {
+		cache = qcache.NewShared(reg.opt.CacheEntries, reg.opt.perReleaseBytes(), reg.budget)
+		q = server.NewCachedQuerier(res.Synopsis, cache)
+	}
+	rl.mu.Lock()
+	if rl.swap == nil {
+		rl.swap = server.NewSwappable(q)
+	} else {
+		rl.swap.Swap(q)
+	}
+	readmitted := rl.warmMasks != nil
+	handoff := rl.warmMasks
+	rl.warmMasks = nil
+	rl.cache = cache
+	rl.loaded = true
+	rl.loadedPath = res.Path
+	rl.state = stateClosed
+	rl.consecFails = 0
+	rl.probing = false
+	rl.backoff = 0
+	rl.backoffUntil = time.Time{}
+	rl.lastErr = ""
+	ch := rl.loading
+	rl.loading = nil
+	rl.mu.Unlock()
+	rl.loadedFlag.Store(true)
+	rl.lastTouch.Store(reg.nextTouch())
+	if readmitted {
+		rl.c.Readmits.Add(1)
+	}
+	close(ch)
+	reg.noteLoaded(rl)
+	rl.warmAsync(q, handoff)
+	return q
+}
+
+// strike records a load failure: backoff doubles, and at the
+// threshold (or on any half-open probe failure) the breaker opens for
+// a full cooldown. The returned error carries the Retry-After the
+// caller should surface.
+func (rl *release) strike(ch chan struct{}, cause error) error {
+	reg := rl.reg
+	rl.c.LoadFailures.Add(1)
+	now := reg.opt.Now()
+	rl.mu.Lock()
+	rl.lastErr = cause.Error()
+	rl.consecFails++
+	if rl.backoff == 0 {
+		rl.backoff = reg.opt.BackoffBase
+	} else {
+		rl.backoff *= 2
+		if rl.backoff > reg.opt.BackoffMax {
+			rl.backoff = reg.opt.BackoffMax
+		}
+	}
+	rl.backoffUntil = now.Add(rl.backoff)
+	wasProbe := rl.probing
+	rl.probing = false
+	tripped := false
+	if wasProbe || rl.consecFails >= reg.opt.BreakerThreshold {
+		if rl.state != stateOpen {
+			tripped = true
+		}
+		rl.state = stateOpen
+		rl.openedUntil = now.Add(reg.opt.BreakerCooldown)
+	}
+	retryAfter := rl.backoff
+	if rl.state == stateOpen {
+		retryAfter = reg.opt.BreakerCooldown
+	}
+	rl.loading = nil
+	rl.mu.Unlock()
+	close(ch)
+	if tripped {
+		rl.c.Trips.Add(1)
+		reg.opt.Logger.Printf("registry: %s: circuit breaker opened for %v after %d consecutive failures: %v",
+			rl.name, reg.opt.BreakerCooldown, rl.consecFailsApprox(), cause)
+	}
+	if errors.Is(cause, context.DeadlineExceeded) || errors.Is(cause, reconstruct.ErrDeadline) {
+		// The caller's deadline expired while loading (the slow-loader
+		// failure mode): it counted as a strike above, but the caller
+		// gets the truthful 504.
+		return cause
+	}
+	return &server.UnavailableError{Reason: "load failed: " + cause.Error(), RetryAfter: retryAfter}
+}
+
+// consecFailsApprox reads the failure streak for log lines only.
+func (rl *release) consecFailsApprox() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.consecFails
+}
+
+// evict drops the release's resident synopsis and cache, remembering
+// the hottest cache keys so a later re-admission starts warm. Called
+// with reg.mu held (reg.mu → rl.mu is the sanctioned order).
+func (rl *release) evict() {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if !rl.loaded || rl.retired {
+		return
+	}
+	if rl.cache != nil {
+		keys := rl.cache.Keys()
+		if len(keys) > maxHandoffKeys {
+			keys = keys[:maxHandoffKeys]
+		}
+		rl.warmMasks = keys
+		rl.cache.Purge()
+	}
+	rl.cache = nil
+	rl.swap = nil
+	rl.loaded = false
+	rl.loadedPath = ""
+	rl.loadedFlag.Store(false)
+	rl.c.Evictions.Add(1)
+}
+
+// retire marks the release gone: resident state is dropped, future
+// acquires get ErrUnknownRelease, in-flight leases finish untouched.
+func (rl *release) retire() {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	rl.retired = true
+	if rl.cache != nil {
+		rl.cache.Purge()
+	}
+	rl.cache = nil
+	rl.swap = nil
+	rl.loaded = false
+	rl.loadedFlag.Store(false)
+}
+
+// currentQuerier returns the querier new queries would see, or nil if
+// the release is not resident — the staleness check warm replay uses
+// to stop filling a cache that has been evicted or swapped out.
+func (rl *release) currentQuerier() server.Querier {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if !rl.loaded || rl.swap == nil {
+		return nil
+	}
+	return rl.swap.Current()
+}
+
+// warmAsync pre-fills q's cache in the background: first the handoff
+// keys (the queries that were hot when this release was last evicted
+// or reloaded), then the configured ≤WarmK-way sweep. Best-effort —
+// it stops the moment q stops being the release's current querier.
+func (rl *release) warmAsync(q server.Querier, handoff []qcache.Key) {
+	reg := rl.reg
+	if len(handoff) == 0 && reg.opt.WarmK <= 0 {
+		return
+	}
+	ctx := reg.bg
+	go func() {
+		replayed := 0
+		for _, k := range handoff {
+			if ctx.Err() != nil || rl.currentQuerier() != q {
+				return
+			}
+			if _, err := q.QueryMethodContext(ctx, k.Mask.Attrs(), core.ReconstructMethod(k.Method)); err == nil {
+				replayed++
+			}
+		}
+		if replayed > 0 {
+			reg.opt.Logger.Printf("registry: %s: warm handoff replayed %d/%d cached queries", rl.name, replayed, len(handoff))
+		}
+		cq, ok := q.(*server.CachedQuerier)
+		if !ok || reg.opt.WarmK <= 0 {
+			return
+		}
+		warmed, skipped, err := cq.Warm(ctx, reg.opt.WarmK, 0)
+		if err != nil {
+			reg.opt.Logger.Printf("registry: %s: cache warming stopped after %d marginals (%d skipped): %v", rl.name, warmed, skipped, err)
+			return
+		}
+		reg.opt.Logger.Printf("registry: %s: warmed %d marginals (≤%d-way, %d skipped)", rl.name, warmed, reg.opt.WarmK, skipped)
+	}()
+}
+
+// maybeReload checks whether the release's newest on-disk snapshot
+// differs from the one being served and, if so, hot-reloads it through
+// keep-last-good: the old synopsis serves until the new one has passed
+// checksum + audit, and a failed reload changes nothing but a counter.
+// Cold releases stay cold (lazy loading is the admission path).
+func (rl *release) maybeReload(ctx context.Context) {
+	names, err := rl.store.Snapshots()
+	if err != nil || len(names) == 0 {
+		return
+	}
+	newest := names[0]
+	rl.mu.Lock()
+	if !rl.loaded || rl.retired || rl.loading != nil || filepath.Base(rl.loadedPath) == newest {
+		rl.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	rl.loading = ch
+	oldCache := rl.cache
+	rl.mu.Unlock()
+
+	reg := rl.reg
+	var res *snapshot.LoadResult
+	select {
+	case reg.loadSem <- struct{}{}:
+		res, err = reg.opt.Loader.Load(ctx, rl.name, rl.store)
+		<-reg.loadSem
+	case <-ctx.Done():
+		err = reconstruct.ContextErr(ctx)
+	}
+	if err == nil {
+		for i, q := range res.Quarantined {
+			reg.opt.Logger.Printf("registry: %s: quarantined corrupt snapshot %s: %v", rl.name, q, res.Errs[i])
+		}
+		err = auditGate(res)
+	}
+	if err != nil {
+		reg.opt.Logger.Printf("registry: %s: reload failed, keeping last good synopsis: %v", rl.name, err)
+		rl.c.ReloadFailures.Add(1)
+		rl.mu.Lock()
+		rl.lastErr = err.Error()
+		rl.loading = nil
+		rl.mu.Unlock()
+		close(ch)
+		return
+	}
+	var cache *qcache.Cache
+	var q server.Querier = res.Synopsis
+	if reg.opt.CacheEntries > 0 {
+		cache = qcache.NewShared(reg.opt.CacheEntries, reg.opt.perReleaseBytes(), reg.budget)
+		q = server.NewCachedQuerier(res.Synopsis, cache)
+	}
+	// The old cache's hot keys seed the new one; its entries must not
+	// survive (qcache keys carry no synopsis identity).
+	var handoff []qcache.Key
+	if oldCache != nil {
+		handoff = oldCache.Keys()
+		if len(handoff) > maxHandoffKeys {
+			handoff = handoff[:maxHandoffKeys]
+		}
+		oldCache.Purge()
+	}
+	rl.mu.Lock()
+	if rl.retired {
+		rl.loading = nil
+		rl.mu.Unlock()
+		close(ch)
+		return
+	}
+	if rl.swap == nil {
+		// Evicted while the reload was in flight; treat as a fresh
+		// admission.
+		rl.swap = server.NewSwappable(q)
+	} else {
+		rl.swap.Swap(q)
+	}
+	rl.cache = cache
+	rl.loaded = true
+	rl.loadedPath = res.Path
+	rl.loading = nil
+	rl.mu.Unlock()
+	rl.loadedFlag.Store(true)
+	rl.c.Reloads.Add(1)
+	close(ch)
+	reg.opt.Logger.Printf("registry: %s: reloaded snapshot %s (ε=%g)", rl.name, newest, res.Synopsis.Epsilon())
+	reg.noteLoaded(rl)
+	rl.warmAsync(q, handoff)
+}
+
+// ReleaseStats is the observability snapshot served on
+// /v1/{release}/stats. Every counter the chaos suite asserts on —
+// breaker trips, probes, sheds, evictions — is here.
+type ReleaseStats struct {
+	Name                string       `json:"name"`
+	Loaded              bool         `json:"loaded"`
+	Snapshot            string       `json:"snapshot,omitempty"`
+	Breaker             string       `json:"breaker"`
+	ConsecutiveFailures int          `json:"consecutive_failures"`
+	BreakerTrips        uint64       `json:"breaker_trips"`
+	BreakerRejects      uint64       `json:"breaker_rejects"`
+	BackoffRejects      uint64       `json:"backoff_rejects"`
+	HalfOpenProbes      uint64       `json:"half_open_probes"`
+	LoadAttempts        uint64       `json:"load_attempts"`
+	LoadFailures        uint64       `json:"load_failures"`
+	Reloads             uint64       `json:"reloads"`
+	ReloadFailures      uint64       `json:"reload_failures"`
+	Shed                uint64       `json:"shed"`
+	Evictions           uint64       `json:"evictions"`
+	Readmits            uint64       `json:"readmits"`
+	LastError           string       `json:"last_error,omitempty"`
+	InflightLimit       int          `json:"inflight_limit"`
+	Inflight            int          `json:"inflight"`
+	Cache               bool         `json:"cache"`
+	CacheStats          qcache.Stats `json:"cache_stats"`
+}
+
+// stats snapshots the release's state without loading or touching it.
+func (rl *release) stats() ReleaseStats {
+	now := rl.reg.opt.Now()
+	rl.mu.Lock()
+	breaker := "closed"
+	switch {
+	case rl.state == stateOpen && now.Before(rl.openedUntil):
+		breaker = "open"
+	case rl.state == stateOpen || rl.state == stateHalfOpen:
+		// Cooldown elapsed (probe pending) or probe in flight.
+		breaker = "half-open"
+	}
+	s := ReleaseStats{
+		Name:                rl.name,
+		Loaded:              rl.loaded,
+		Breaker:             breaker,
+		ConsecutiveFailures: rl.consecFails,
+		LastError:           rl.lastErr,
+		Cache:               rl.cache != nil,
+	}
+	if rl.loadedPath != "" {
+		s.Snapshot = filepath.Base(rl.loadedPath)
+	}
+	if rl.cache != nil {
+		s.CacheStats = rl.cache.Stats()
+	}
+	rl.mu.Unlock()
+	s.BreakerTrips = rl.c.Trips.Load()
+	s.BreakerRejects = rl.c.BreakerRejects.Load()
+	s.BackoffRejects = rl.c.BackoffRejects.Load()
+	s.HalfOpenProbes = rl.c.HalfOpenProbes.Load()
+	s.LoadAttempts = rl.c.LoadAttempts.Load()
+	s.LoadFailures = rl.c.LoadFailures.Load()
+	s.Reloads = rl.c.Reloads.Load()
+	s.ReloadFailures = rl.c.ReloadFailures.Load()
+	s.Shed = rl.c.Shed.Load()
+	s.Evictions = rl.c.Evictions.Load()
+	s.Readmits = rl.c.Readmits.Load()
+	if rl.inflight != nil {
+		s.InflightLimit = cap(rl.inflight)
+		s.Inflight = len(rl.inflight)
+	}
+	return s
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -64,14 +65,17 @@ func (c *CachedQuerier) CacheStats() (qcache.Stats, bool) {
 // Warm precomputes every marginal of 1..k attributes with the default
 // estimator (CME), filling the cache so the first real queries hit.
 // workers ≤ 0 selects GOMAXPROCS. It returns how many marginals were
-// cached cleanly (degraded answers are computed but, per the clean-only
-// policy, not stored) and stops early — returning the context error —
-// if ctx ends. A querier without a design has no known dimension and
-// warms nothing.
-func (c *CachedQuerier) Warm(ctx context.Context, k, workers int) (int, error) {
+// cached cleanly and how many were skipped: a degraded key
+// (reconstruct.ErrNumerical — one poisoned view) is computed, counted
+// in skipped, and the pass keeps going, so a single bad view cannot
+// leave the rest of the cache cold. Only the context ending stops the
+// pass early (the context error is returned alongside the partial
+// counts). A querier without a design has no known dimension and warms
+// nothing.
+func (c *CachedQuerier) Warm(ctx context.Context, k, workers int) (warmed, skipped int, err error) {
 	dg := c.Design()
 	if dg == nil || k <= 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	d := dg.D
 	if k > d {
@@ -81,15 +85,24 @@ func (c *CachedQuerier) Warm(ctx context.Context, k, workers int) (int, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	work := make(chan []int)
-	var warmed atomic.Int64
+	var nWarmed, nSkipped atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for attrs := range work {
-				if _, err := c.QueryMethodContext(ctx, attrs, core.CME); err == nil {
-					warmed.Add(1)
+				switch _, err := c.QueryMethodContext(ctx, attrs, core.CME); {
+				case err == nil:
+					nWarmed.Add(1)
+				case errors.Is(err, reconstruct.ErrCanceled) || errors.Is(err, reconstruct.ErrDeadline) ||
+					errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					// The pass is being stopped; the enumerator notices
+					// ctx too and closes the channel.
+				default:
+					// Degraded (ErrNumerical) or otherwise unanswerable
+					// key: skip it and keep warming the rest.
+					nSkipped.Add(1)
 				}
 			}
 		}()
@@ -123,5 +136,5 @@ func (c *CachedQuerier) Warm(ctx context.Context, k, workers int) (int, error) {
 	gen(0)
 	close(work)
 	wg.Wait()
-	return int(warmed.Load()), reconstruct.ContextErr(ctx)
+	return int(nWarmed.Load()), int(nSkipped.Load()), reconstruct.ContextErr(ctx)
 }

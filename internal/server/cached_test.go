@@ -147,13 +147,13 @@ func TestCachedQuerierBypassesUnkeyableQueries(t *testing.T) {
 func TestWarmFillsCache(t *testing.T) {
 	cq, counting, _ := cachedTestSetup(t)
 	ctx := context.Background()
-	warmed, err := cq.Warm(ctx, 2, 4)
+	warmed, skipped, err := cq.Warm(ctx, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// d=9: C(9,1) + C(9,2) = 9 + 36 = 45 marginals.
-	if warmed != 45 {
-		t.Errorf("warmed = %d, want 45", warmed)
+	if warmed != 45 || skipped != 0 {
+		t.Errorf("warmed = (%d, %d skipped), want (45, 0)", warmed, skipped)
 	}
 	st, _ := cq.CacheStats()
 	if st.Entries != 45 {
@@ -169,11 +169,51 @@ func TestWarmFillsCache(t *testing.T) {
 	}
 }
 
+// partiallyDegradedQuerier degrades exactly the queries touching one
+// poisoned attribute and answers the rest cleanly — the "one bad view"
+// scenario Warm must survive.
+type partiallyDegradedQuerier struct {
+	Querier
+	badAttr int
+}
+
+func (p *partiallyDegradedQuerier) QueryMethodContext(ctx context.Context, attrs []int, method core.ReconstructMethod) (*marginal.Table, error) {
+	for _, a := range attrs {
+		if a == p.badAttr {
+			return marginal.Uniform(attrs, 100), &reconstruct.NumericalError{
+				Solver: "maxent", Iter: 1, Quantity: "residual", Value: math.NaN(),
+			}
+		}
+	}
+	return p.Querier.QueryMethodContext(ctx, attrs, method)
+}
+
+// TestWarmSkipsDegradedKeys proves one poisoned view cannot leave the
+// cache cold: degraded keys are counted and skipped, every clean key is
+// still warmed, and the pass reports no error.
+func TestWarmSkipsDegradedKeys(t *testing.T) {
+	_, counting, _ := cachedTestSetup(t)
+	cq := NewCachedQuerier(&partiallyDegradedQuerier{Querier: counting, badAttr: 0}, qcache.New(1024, 16<<20))
+	warmed, skipped, err := cq.Warm(context.Background(), 2, 4)
+	if err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	// d=9, attribute 0 poisoned: 1 + 8 = 9 keys touch it; 45 - 9 = 36
+	// warm cleanly.
+	if warmed != 36 || skipped != 9 {
+		t.Errorf("Warm = (%d warmed, %d skipped), want (36, 9)", warmed, skipped)
+	}
+	st, _ := cq.CacheStats()
+	if st.Entries != 36 {
+		t.Errorf("entries = %d, want 36 (all clean keys cached)", st.Entries)
+	}
+}
+
 func TestWarmCanceledStopsEarly(t *testing.T) {
 	cq, _, _ := cachedTestSetup(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	warmed, err := cq.Warm(ctx, 3, 2)
+	warmed, _, err := cq.Warm(ctx, 3, 2)
 	if !errors.Is(err, reconstruct.ErrCanceled) {
 		t.Errorf("err = %v, want ErrCanceled", err)
 	}
@@ -185,9 +225,9 @@ func TestWarmCanceledStopsEarly(t *testing.T) {
 func TestWarmWithoutDesign(t *testing.T) {
 	_, counting, _ := cachedTestSetup(t)
 	cq := NewCachedQuerier(designlessQuerier{counting}, qcache.New(8, 0))
-	warmed, err := cq.Warm(context.Background(), 2, 2)
-	if err != nil || warmed != 0 {
-		t.Errorf("Warm without design = (%d, %v), want (0, nil)", warmed, err)
+	warmed, skipped, err := cq.Warm(context.Background(), 2, 2)
+	if err != nil || warmed != 0 || skipped != 0 {
+		t.Errorf("Warm without design = (%d, %d, %v), want (0, 0, nil)", warmed, skipped, err)
 	}
 }
 

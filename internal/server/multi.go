@@ -1,0 +1,311 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"priview/internal/reconstruct"
+)
+
+// Resolution errors — the vocabulary a release registry speaks to the
+// multi-tenant router. The router maps them onto HTTP statuses:
+//
+//	ErrUnknownRelease → 404
+//	UnavailableError  → 503 + Retry-After (breaker open, load backoff)
+//	SaturatedError    → 429 + Retry-After (per-release bulkhead full)
+var ErrUnknownRelease = errors.New("server: unknown release")
+
+// UnavailableError reports that a release exists but cannot serve right
+// now — its circuit breaker is open, its loader is in backoff, or it is
+// half-open with a probe already in flight. RetryAfter tells clients
+// when trying again might succeed.
+type UnavailableError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("server: release unavailable: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// SaturatedError reports that the release's own inflight bulkhead is
+// full. It is deliberately distinct from global shedding: one hot
+// tenant saturates itself, not the fleet.
+type SaturatedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("server: release at capacity (retry after %v)", e.RetryAfter)
+}
+
+// Lease is an admitted, loaded release: a Querier plus the obligation
+// to Close it, which returns the release's bulkhead permit. Queries
+// issued through the lease keep answering from the synopsis resolved at
+// acquire time even if the release is reloaded or evicted mid-query.
+type Lease interface {
+	Querier
+	Close()
+}
+
+// Resolver is the registry surface the multi-tenant router serves from.
+// internal/registry implements it.
+type Resolver interface {
+	// Acquire resolves name to a loaded release and takes one bulkhead
+	// permit, lazily loading the release on first hit. The returned
+	// Lease must be Closed. Errors are the resolution vocabulary above.
+	Acquire(ctx context.Context, name string) (Lease, error)
+	// ReleaseStats returns the release's observability snapshot (an
+	// arbitrary JSON-marshalable value) without loading or touching it.
+	ReleaseStats(name string) (any, error)
+	// Releases lists the currently registered release names, sorted.
+	Releases() []string
+	// Ready reports whether the registry has completed its initial
+	// scan — the /readyz gate.
+	Ready() bool
+}
+
+// Multi is the multi-tenant HTTP front: named-release routes
+// (/v1/{release}/marginal|info|stats) resolved through a Resolver, with
+// the legacy unprefixed routes aliasing a configured default release.
+// The failure-model middleware (panic recovery, global shedding,
+// per-request deadline) is identical to the singleton Server's; the
+// per-release bulkheads, breakers and quotas live behind Acquire.
+type Multi struct {
+	res      Resolver
+	def      string // default release for legacy routes; "" = none
+	mux      *http.ServeMux
+	opt      Options
+	inflight chan struct{} // global shed, on top of per-release bulkheads
+	draining atomic.Bool
+}
+
+// NewMulti returns a router serving every release res resolves.
+// defaultRelease, when non-empty, is the release the legacy unprefixed
+// /v1/marginal, /v1/info and /v1/stats routes alias.
+func NewMulti(res Resolver, defaultRelease string, opt Options) *Multi {
+	if opt.MaxK <= 0 {
+		opt.MaxK = 12
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = time.Second
+	}
+	if opt.Logger == nil {
+		opt.Logger = log.Default()
+	}
+	m := &Multi{res: res, def: defaultRelease, mux: http.NewServeMux(), opt: opt}
+	if opt.MaxInflight > 0 {
+		m.inflight = make(chan struct{}, opt.MaxInflight)
+	}
+	m.mux.Handle("/healthz", m.recovered(http.HandlerFunc(m.handleHealth)))
+	m.mux.Handle("/readyz", m.recovered(http.HandlerFunc(m.handleReady)))
+	m.mux.Handle("/v1/releases", m.recovered(http.HandlerFunc(m.handleReleases)))
+	// Named-release routes plus the legacy aliases. Order of middleware
+	// matches the singleton server: shed before arming the deadline.
+	marginal := m.recovered(m.shedding(m.deadlined(http.HandlerFunc(m.handleMarginal))))
+	m.mux.Handle("/v1/{release}/marginal", marginal)
+	m.mux.Handle("/v1/marginal", marginal)
+	info := m.recovered(http.HandlerFunc(m.handleInfo))
+	m.mux.Handle("/v1/{release}/info", info)
+	m.mux.Handle("/v1/info", info)
+	stats := m.recovered(http.HandlerFunc(m.handleStats))
+	m.mux.Handle("/v1/{release}/stats", stats)
+	m.mux.Handle("/v1/stats", stats)
+	return m
+}
+
+// ServeHTTP implements http.Handler.
+func (m *Multi) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips the draining state (see Server.SetDraining).
+func (m *Multi) SetDraining(v bool) { m.draining.Store(v) }
+
+// Draining reports whether the router is refusing its health probe.
+func (m *Multi) Draining() bool { return m.draining.Load() }
+
+// releaseName resolves which release a request addresses: the {release}
+// path segment, or the configured default for legacy routes. ok is
+// false for a legacy route with no default configured.
+func (m *Multi) releaseName(r *http.Request) (string, bool) {
+	if name := r.PathValue("release"); name != "" {
+		return name, true
+	}
+	return m.def, m.def != ""
+}
+
+// writeResolveError maps a Resolver error onto the HTTP failure model.
+func (m *Multi) writeResolveError(w http.ResponseWriter, r *http.Request, err error) {
+	var unavailable *UnavailableError
+	var saturated *SaturatedError
+	switch {
+	case errors.Is(err, ErrUnknownRelease):
+		http.Error(w, "unknown release", http.StatusNotFound)
+	case errors.As(err, &unavailable):
+		w.Header().Set("Retry-After", retryAfterSeconds(unavailable.RetryAfter))
+		http.Error(w, "release unavailable: "+unavailable.Reason, http.StatusServiceUnavailable)
+	case errors.As(err, &saturated):
+		w.Header().Set("Retry-After", retryAfterSeconds(saturated.RetryAfter))
+		http.Error(w, "release at capacity, retry later", http.StatusTooManyRequests)
+	case errors.Is(err, reconstruct.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, reconstruct.ErrCanceled) || errors.Is(err, context.Canceled):
+		w.WriteHeader(statusClientClosedRequest)
+	default:
+		m.opt.Logger.Printf("server: resolving release for %s: %v", r.URL.Path, err)
+		http.Error(w, "internal error", http.StatusInternalServerError)
+	}
+}
+
+func (m *Multi) handleMarginal(w http.ResponseWriter, r *http.Request) {
+	name, ok := m.releaseName(r)
+	if !ok {
+		http.Error(w, "no default release configured; use /v1/{release}/marginal", http.StatusNotFound)
+		return
+	}
+	lease, err := m.res.Acquire(r.Context(), name)
+	if err != nil {
+		m.writeResolveError(w, r, err)
+		return
+	}
+	defer lease.Close()
+	serveMarginal(w, r, lease, m.opt.MaxK, m.opt.Logger)
+}
+
+func (m *Multi) handleInfo(w http.ResponseWriter, r *http.Request) {
+	name, ok := m.releaseName(r)
+	if !ok {
+		http.Error(w, "no default release configured; use /v1/{release}/info", http.StatusNotFound)
+		return
+	}
+	lease, err := m.res.Acquire(r.Context(), name)
+	if err != nil {
+		m.writeResolveError(w, r, err)
+		return
+	}
+	defer lease.Close()
+	serveInfo(w, r, lease, m.opt.MaxK, m.opt.Logger)
+}
+
+// handleStats serves the per-release observability snapshot. Unlike
+// marginal and info it never loads or touches the release — stats on a
+// cold, broken or saturated tenant must always answer, that being the
+// whole point of the counters.
+func (m *Multi) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name, ok := m.releaseName(r)
+	if !ok {
+		http.Error(w, "no default release configured; use /v1/{release}/stats", http.StatusNotFound)
+		return
+	}
+	stats, err := m.res.ReleaseStats(name)
+	if err != nil {
+		m.writeResolveError(w, r, err)
+		return
+	}
+	writeJSON(w, m.opt.Logger, stats)
+}
+
+// releasesResponse lists the registered releases.
+type releasesResponse struct {
+	Default  string   `json:"default,omitempty"`
+	Releases []string `json:"releases"`
+}
+
+func (m *Multi) handleReleases(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	names := m.res.Releases()
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, m.opt.Logger, releasesResponse{Default: m.def, Releases: names})
+}
+
+func (m *Multi) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if m.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(m.opt.RetryAfter))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	//lint:ignore errdiscard health-probe response; a client that hung up cannot be told about it
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady answers 200 only when the registry has completed its
+// initial scan and the instance is not draining — the gate a load
+// balancer checks before routing traffic to a fresh replica, distinct
+// from the liveness probe (/healthz) that merely proves the process
+// responds.
+func (m *Multi) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if m.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(m.opt.RetryAfter))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if !m.res.Ready() {
+		w.Header().Set("Retry-After", retryAfterSeconds(m.opt.RetryAfter))
+		http.Error(w, "registry scan incomplete", http.StatusServiceUnavailable)
+		return
+	}
+	//lint:ignore errdiscard health-probe response; a client that hung up cannot be told about it
+	fmt.Fprintln(w, "ready")
+}
+
+// recovered, shedding and deadlined mirror the singleton Server's
+// middleware; the multi router keeps its own copies because its
+// shedding is the *global* backstop — per-release bulkheads are the
+// Resolver's job.
+func (m *Multi) recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				m.opt.Logger.Printf("server: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (m *Multi) shedding(h http.Handler) http.Handler {
+	if m.inflight == nil {
+		return h
+	}
+	retryAfter := retryAfterSeconds(m.opt.RetryAfter)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case m.inflight <- struct{}{}:
+			defer func() { <-m.inflight }()
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", retryAfter)
+			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		}
+	})
+}
+
+func (m *Multi) deadlined(h http.Handler) http.Handler {
+	if m.opt.QueryTimeout <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), m.opt.QueryTimeout)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -102,7 +102,10 @@ func NewWithOptions(syn Querier, opt Options) *Server {
 	if opt.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, opt.MaxInflight)
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+	// The health probe gets the same panic recovery as every other
+	// route: a panicking Querier reachable from the health path must
+	// answer 500, not kill the probe's response mid-flight.
+	s.mux.Handle("/healthz", s.recovered(http.HandlerFunc(s.handleHealth)))
 	s.mux.Handle("/v1/info", s.recovered(http.HandlerFunc(s.handleInfo)))
 	s.mux.Handle("/v1/stats", s.recovered(http.HandlerFunc(s.handleStats)))
 	// Shed before arming the deadline: a request rejected for capacity
@@ -148,7 +151,7 @@ func (s *Server) shedding(h http.Handler) http.Handler {
 	if s.inflight == nil {
 		return h
 	}
-	retryAfter := strconv.Itoa(int((s.opt.RetryAfter + time.Second - 1) / time.Second))
+	retryAfter := retryAfterSeconds(s.opt.RetryAfter)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.inflight <- struct{}{}:
@@ -159,6 +162,16 @@ func (s *Server) shedding(h http.Handler) http.Handler {
 			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
 		}
 	})
+}
+
+// retryAfterSeconds renders a duration as the whole-seconds string the
+// Retry-After header requires, rounding up so the hint never undershoots.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // deadlined arms the per-request reconstruction deadline on the request
@@ -177,6 +190,10 @@ func (s *Server) deadlined(h http.Handler) http.Handler {
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.draining.Load() {
+		// Like the 429 shed path, the drain refusal carries a backoff
+		// hint; without it retrying clients hammer an instance that is
+		// trying to go away.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.opt.RetryAfter))
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -195,21 +212,28 @@ type infoResponse struct {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	serveInfo(w, r, s.syn, s.opt.MaxK, s.opt.Logger)
+}
+
+// serveInfo answers an info request from q. Shared between the
+// singleton Server and the multi-tenant router, which resolves q per
+// release.
+func serveInfo(w http.ResponseWriter, r *http.Request, q Querier, maxK int, logger *log.Logger) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	resp := infoResponse{
-		Epsilon: s.syn.Epsilon(),
-		Total:   s.syn.Total(),
-		Views:   len(s.syn.Views()),
-		MaxK:    s.opt.MaxK,
+		Epsilon: q.Epsilon(),
+		Total:   q.Total(),
+		Views:   len(q.Views()),
+		MaxK:    maxK,
 	}
-	if dg := s.syn.Design(); dg != nil {
+	if dg := q.Design(); dg != nil {
 		resp.D = dg.D
 		resp.Design = dg.Name()
 	}
-	s.writeJSON(w, resp)
+	writeJSON(w, logger, resp)
 }
 
 // statsResponse reports the query cache's counters. Cache is false (and
@@ -246,6 +270,13 @@ type marginalResponse struct {
 }
 
 func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
+	serveMarginal(w, r, s.syn, s.opt.MaxK, s.opt.Logger)
+}
+
+// serveMarginal validates, reconstructs and answers one marginal query
+// against q. Shared between the singleton Server and the multi-tenant
+// router, which resolves q per release.
+func serveMarginal(w http.ResponseWriter, r *http.Request, q Querier, maxK int, logger *log.Logger) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -255,11 +286,11 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(attrs) > s.opt.MaxK {
-		http.Error(w, fmt.Sprintf("at most %d attributes per query", s.opt.MaxK), http.StatusBadRequest)
+	if len(attrs) > maxK {
+		http.Error(w, fmt.Sprintf("at most %d attributes per query", maxK), http.StatusBadRequest)
 		return
 	}
-	if dg := s.syn.Design(); dg != nil {
+	if dg := q.Design(); dg != nil {
 		for _, a := range attrs {
 			if a < 0 || a >= dg.D {
 				http.Error(w, fmt.Sprintf("attribute %d out of range (d=%d)", a, dg.D), http.StatusBadRequest)
@@ -274,10 +305,10 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	}
 	// Input is validated; from here every failure is the server's, not
 	// the client's. Panics propagate to the recovery middleware (500).
-	table, err := s.syn.QueryMethodContext(r.Context(), attrs, method)
+	table, err := q.QueryMethodContext(r.Context(), attrs, method)
 	switch {
 	case err == nil && table != nil:
-		s.writeJSON(w, marginalResponse{
+		writeJSON(w, logger, marginalResponse{
 			Attrs:  table.Attrs,
 			Method: method.String(),
 			Total:  table.Total(),
@@ -286,8 +317,8 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, reconstruct.ErrNumerical) && table != nil:
 		// The numerical fallback chain produced a finite answer; serve
 		// it (marked degraded) rather than failing the query.
-		s.opt.Logger.Printf("server: query attrs=%v method=%s degraded: %v", attrs, method, err)
-		s.writeJSON(w, marginalResponse{
+		logger.Printf("server: query attrs=%v method=%s degraded: %v", attrs, method, err)
+		writeJSON(w, logger, marginalResponse{
 			Attrs:    table.Attrs,
 			Method:   method.String(),
 			Total:    table.Total(),
@@ -300,7 +331,7 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		// The client went away; the status is for logs only.
 		w.WriteHeader(statusClientClosedRequest)
 	default:
-		s.opt.Logger.Printf("server: query attrs=%v method=%s failed: %v", attrs, method, err)
+		logger.Printf("server: query attrs=%v method=%s failed: %v", attrs, method, err)
 		http.Error(w, "internal error", http.StatusInternalServerError)
 	}
 }
@@ -347,11 +378,15 @@ func parseAttrs(raw string) ([]int, error) {
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+	writeJSON(w, s.opt.Logger, v)
+}
+
+func writeJSON(w http.ResponseWriter, logger *log.Logger, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// The 200 header and part of the body may already be on the
 		// wire, so a late http.Error would interleave an error string
 		// into a JSON stream; logging is the only safe action.
-		s.opt.Logger.Printf("server: encoding response: %v", err)
+		logger.Printf("server: encoding response: %v", err)
 	}
 }
