@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos chaos-registry fuzz-short audit bench check
+.PHONY: all build vet lint test race chaos chaos-registry chaos-overload fuzz-short audit bench check
 
 all: build
 
@@ -55,6 +55,16 @@ chaos-registry:
 	$(GO) test -race -run 'TestRegistryTenantIsolation' ./internal/chaos/
 	$(GO) test -race -run 'TestReloadRaceServesCleanly' ./cmd/priview-serve/
 
+# The overload-control suite: admission controller unit tests, the 2×
+# overload storm (goodput floor, bounded admitted p99 with a slow
+# solver), the client retry-amplification bound, and the greedy-tenant
+# fairness proof. Always under -race. Set PRIVIEW_OVERLOAD_REPORT to a
+# path to capture the storm's latency partitions as JSON (CI uploads it
+# as an artifact). See DESIGN.md §13.
+chaos-overload:
+	$(GO) test -race ./internal/admission/
+	$(GO) test -race -run 'TestOverloadStorm|TestRetryAmplificationBounded|TestGreedyTenantFairness' ./internal/chaos/
+
 # The query-cache benchmarks (cached vs uncached reconstruction at the
 # qcache and HTTP layers) plus the attrset before/after suite (pairwise
 # set scan, intersection closure, constraint dedupe, solver hot-loop
@@ -87,4 +97,4 @@ audit:
 	$(GO) run ./cmd/priview build -in $$tmp/data.txt -eps 1.0 -snapshot -out $$tmp/syn.json && \
 	$(GO) run ./cmd/priview audit $$tmp/syn.json
 
-check: build vet lint race chaos chaos-registry fuzz-short audit
+check: build vet lint race chaos chaos-registry chaos-overload fuzz-short audit

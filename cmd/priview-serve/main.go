@@ -65,9 +65,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"priview/internal/admission"
 	"priview/internal/audit"
 	"priview/internal/core"
 	"priview/internal/qcache"
@@ -101,6 +104,10 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 3, "registry mode: consecutive load failures that trip a release's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "registry mode: how long a tripped breaker fast-fails before admitting a probe")
 	reconcileInterval := flag.Duration("reconcile-interval", time.Minute, "registry mode: background rescan period (0 disables; SIGHUP always rescans)")
+	admissionTarget := flag.Duration("admission-target-delay", 25*time.Millisecond, "adaptive admission: CoDel target queue delay; queries queue up to this sojourn before shedding starts (0 reverts to the instant-429 -max-inflight semaphore)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "registry mode: per-release token-bucket rate limit in requests/second, scaled by -tenant-weights (0 disables)")
+	tenantWeights := flag.String("tenant-weights", "", `registry mode: comma-separated name=weight fairness overrides (e.g. "gold=4,best-effort=0.5"); weight scales a release's rate limit and inflight carve`)
+	brownout := flag.Duration("brownout", 0, "serve cache hits only to non-priority traffic after this long of sustained overload (0 disables; requires adaptive admission)")
 	flag.Parse()
 	modes := 0
 	for _, set := range []bool{*synPath != "", *storeDir != "", *registryRoot != ""} {
@@ -121,6 +128,31 @@ func main() {
 		QueryTimeout: *queryTimeout,
 		MaxInflight:  *maxInflight,
 	}
+	if *admissionTarget > 0 {
+		// Adaptive admission replaces the instant-429 semaphore: queries
+		// queue briefly, CoDel sheds on sustained sojourn, and an AIMD
+		// limit tracks the latency gradient. -max-inflight becomes the
+		// concurrency ceiling rather than a hard gate.
+		cfg := &admission.Config{TargetDelay: *admissionTarget}
+		if *maxInflight > 0 {
+			cfg.MaxLimit = *maxInflight
+			cfg.MaxQueue = *maxInflight
+			cfg.InitialLimit = 16
+			if *maxInflight < 16 {
+				cfg.InitialLimit = *maxInflight
+			}
+		}
+		opt.Admission = cfg
+		if *brownout > 0 {
+			opt.Brownout = &admission.BrownoutConfig{Enter: *brownout}
+		}
+	} else if *brownout > 0 {
+		log.Fatalf("priview-serve: -brownout requires adaptive admission (-admission-target-delay > 0)")
+	}
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		log.Fatalf("priview-serve: %v", err)
+	}
 	var handler drainer
 	var onHUP, onTick func()
 	if *registryRoot != "" {
@@ -132,6 +164,8 @@ func main() {
 			BreakerThreshold: *breakerFailures,
 			BreakerCooldown:  *breakerCooldown,
 			WarmK:            *warm,
+			TenantRPS:        *tenantRPS,
+			Weights:          weights,
 		})
 		if err != nil {
 			log.Fatalf("priview-serve: %v", err)
@@ -143,13 +177,14 @@ func main() {
 		if *reconcileInterval > 0 {
 			go reg.Run(ctx, *reconcileInterval)
 		}
-		handler = server.NewMulti(reg, *defaultRelease, opt)
+		mt := server.NewMulti(reg, *defaultRelease, opt)
+		handler = mt
 		onHUP = func() {
 			if err := reg.Reconcile(ctx); err != nil {
 				log.Printf("priview-serve: registry rescan failed: %v", err)
 			}
 		}
-		onTick = func() { logRegistryStats(reg) }
+		onTick = func() { logRegistryStats(reg); logAdmissionStats(mt) }
 		log.Printf("serving registry %s (%d releases, default %q) on %s",
 			*registryRoot, len(reg.Releases()), *defaultRelease, *addr)
 	} else {
@@ -160,7 +195,8 @@ func main() {
 		}
 		cc := cacheConfig{entries: *cacheEntries, bytes: *cacheBytes, warmK: *warm}
 		swap := server.NewSwappable(cc.wrap(syn))
-		handler = server.NewWithOptions(swap, opt)
+		sv := server.NewWithOptions(swap, opt)
+		handler = sv
 		if dg := syn.Design(); dg != nil {
 			log.Printf("serving synopsis %s (ε=%g, from %s) on %s", dg.Name(), syn.Epsilon(), from, *addr)
 		} else {
@@ -172,7 +208,7 @@ func main() {
 				log.Printf("priview-serve: reload failed, keeping last good synopsis: %v", err)
 			}
 		}
-		onTick = func() { logCacheStats(swap) }
+		onTick = func() { logCacheStats(swap); logAdmissionStats(sv) }
 	}
 
 	srv := &http.Server{
@@ -312,6 +348,42 @@ func (cc cacheConfig) warmAsync(ctx context.Context, q server.Querier) {
 		log.Printf("priview-serve: warmed %d marginals (≤%d-way, %d degraded keys skipped) in %v",
 			warmed, cc.warmK, skipped, time.Since(start).Round(time.Millisecond))
 	}()
+}
+
+// parseWeights parses the -tenant-weights "name=weight,..." list.
+func parseWeights(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	weights := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenant-weights: %q is not name=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights: bad weight for %q (want a positive number)", name)
+		}
+		weights[strings.TrimSpace(name)] = w
+	}
+	return weights, nil
+}
+
+// logAdmissionStats emits the periodic overload-control line; silent
+// until the admission machinery has engaged at least once.
+func logAdmissionStats(h interface{ AdmissionStats() *admission.Stats }) {
+	s := h.AdmissionStats()
+	if s == nil {
+		return
+	}
+	line := fmt.Sprintf("priview-serve: admission stats: limit=%.1f inflight=%d queue=%d admitted=%d queued=%d shed=%d codel_dropped=%d deadline_rejected=%d",
+		s.Limit, s.Inflight, s.QueueDepth, s.Admitted, s.Queued, s.Shed, s.CoDelDropped, s.DeadlineRejected)
+	if s.BrownoutActive || s.BrownoutServed > 0 || s.BrownoutRejected > 0 {
+		line += fmt.Sprintf(" brownout_active=%v brownout_served=%d brownout_rejected=%d",
+			s.BrownoutActive, s.BrownoutServed, s.BrownoutRejected)
+	}
+	log.Print(line)
 }
 
 // logCacheStats emits the periodic cache counters line; silent when the

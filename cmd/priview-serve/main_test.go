@@ -233,3 +233,21 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
 	}
 }
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights(" gold = 4, best-effort=0.5 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 || w["gold"] != 4 || w["best-effort"] != 0.5 {
+		t.Errorf("parseWeights = %v", w)
+	}
+	if w, err := parseWeights(""); err != nil || w != nil {
+		t.Errorf("empty list = %v, %v; want nil, nil", w, err)
+	}
+	for _, bad := range []string{"gold", "gold=", "gold=x", "gold=0", "gold=-1"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) accepted", bad)
+		}
+	}
+}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,13 +28,16 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"priview/internal/audit"
 	"priview/internal/core"
 	"priview/internal/covering"
 	"priview/internal/dataset"
 	"priview/internal/dataset/synth"
+	"priview/internal/marginal"
 	"priview/internal/noise"
+	"priview/internal/server"
 	"priview/internal/snapshot"
 )
 
@@ -78,7 +82,8 @@ func usage() {
   plan     -in FILE -eps E [-seed s]
   design   -d D -ell L -t T [-seed s] -out FILE       (export; La Jolla text format)
   build    -in FILE -eps E [-t 0|2|3|4] [-ell L] [-design FILE] [-snapshot] [-seed s] -out FILE
-  query    -synopsis FILE -attrs a,b,c [-method CME|CLN|CLP]
+  query    -synopsis FILE | -server URL  -attrs a,b,c [-method CME|CLN|CLP]
+           [-timeout D] [-retry-budget R] [-priority high]   (remote mode)
   audit    [-json] FILE                               (exit 1 if invariants are violated)`)
 }
 
@@ -344,35 +349,21 @@ func cmdAudit(args []string) error {
 
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	synPath := fs.String("synopsis", "", "synopsis file (required)")
+	synPath := fs.String("synopsis", "", "synopsis file (local mode)")
+	serverURL := fs.String("server", "", "priview-serve base URL (remote mode, e.g. http://host:8080 or http://host:8080/v1/name for a release)")
 	attrsFlag := fs.String("attrs", "", "comma-separated attribute indices (required)")
 	method := fs.String("method", "CME", "reconstruction method: CME, CLN, CLP")
+	timeout := fs.Duration("timeout", 30*time.Second, "remote mode: end-to-end deadline, propagated to the server")
+	retryBudget := fs.Float64("retry-budget", 0, "remote mode: retries allowed per successful request (e.g. 0.1 ≈ 10% retry amplification; 0 disables budgeting)")
+	priority := fs.String("priority", "", `remote mode: request priority ("high" bypasses server brownout)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *synPath == "" || *attrsFlag == "" {
-		return fmt.Errorf("query: -synopsis and -attrs are required")
+	if (*synPath == "") == (*serverURL == "") {
+		return fmt.Errorf("query: exactly one of -synopsis or -server is required")
 	}
-	f, err := os.Open(*synPath)
-	if err != nil {
-		return err
-	}
-	syn, err := snapshot.Read(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return err
-	}
-	switch strings.ToUpper(*method) {
-	case "CME":
-		syn.SetMethod(core.CME)
-	case "CLN":
-		syn.SetMethod(core.CLN)
-	case "CLP":
-		syn.SetMethod(core.CLP)
-	default:
-		return fmt.Errorf("query: unknown method %q", *method)
+	if *attrsFlag == "" {
+		return fmt.Errorf("query: -attrs is required")
 	}
 	var attrs []int
 	for _, part := range strings.Split(*attrsFlag, ",") {
@@ -383,7 +374,42 @@ func cmdQuery(args []string) error {
 		attrs = append(attrs, a)
 	}
 	sort.Ints(attrs)
-	table := syn.Query(attrs)
+
+	var table *marginal.Table
+	if *serverURL != "" {
+		c := server.NewClientWithPolicy(*serverURL, nil, server.RetryPolicy{RetryBudget: *retryBudget})
+		c.SetPriority(*priority)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		t, err := c.MarginalContext(ctx, attrs, strings.ToUpper(*method))
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+		table = t
+	} else {
+		f, err := os.Open(*synPath)
+		if err != nil {
+			return err
+		}
+		syn, err := snapshot.Read(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		switch strings.ToUpper(*method) {
+		case "CME":
+			syn.SetMethod(core.CME)
+		case "CLN":
+			syn.SetMethod(core.CLN)
+		case "CLP":
+			syn.SetMethod(core.CLP)
+		default:
+			return fmt.Errorf("query: unknown method %q", *method)
+		}
+		table = syn.Query(attrs)
+	}
 	fmt.Printf("marginal over attributes %v (total %.1f):\n", table.Attrs, table.Total())
 	for i, v := range table.Cells {
 		assignment := make([]byte, len(table.Attrs))

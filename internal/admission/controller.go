@@ -1,0 +1,397 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config shapes a Controller. The zero value of every field selects
+// the default noted on it.
+type Config struct {
+	// TargetDelay is the CoDel target: the queue sojourn the controller
+	// tries to keep the standing queue under (default 25ms).
+	TargetDelay time.Duration
+	// Interval is the CoDel control interval — how long sojourn must
+	// stay above target before the controller starts shedding from the
+	// queue, and the minimum spacing between multiplicative limit
+	// decreases (default max(100ms, 4×TargetDelay)).
+	Interval time.Duration
+	// MaxQueue bounds the waiting queue; arrivals past it are shed
+	// immediately (default 64).
+	MaxQueue int
+	// InitialLimit is the concurrency limit the AIMD search starts
+	// from (default 16, clamped into [MinLimit, MaxLimit]).
+	InitialLimit int
+	// MinLimit and MaxLimit bound the adaptive concurrency limit
+	// (defaults 2 and 1024).
+	MinLimit, MaxLimit int
+	// RetryAfterBase seeds the queue-depth-scaled Retry-After hint on
+	// rejections (default 1s).
+	RetryAfterBase time.Duration
+	// RetryAfterMax caps the hint (default 30s).
+	RetryAfterMax time.Duration
+	// Now is the clock (nil = time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetDelay <= 0 {
+		c.TargetDelay = 25 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 4 * c.TargetDelay
+		if c.Interval < 100*time.Millisecond {
+			c.Interval = 100 * time.Millisecond
+		}
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 2
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 1024
+	}
+	if c.MaxLimit < c.MinLimit {
+		c.MaxLimit = c.MinLimit
+	}
+	if c.InitialLimit <= 0 {
+		c.InitialLimit = 16
+	}
+	if c.InitialLimit < c.MinLimit {
+		c.InitialLimit = c.MinLimit
+	}
+	if c.InitialLimit > c.MaxLimit {
+		c.InitialLimit = c.MaxLimit
+	}
+	if c.RetryAfterBase <= 0 {
+		c.RetryAfterBase = time.Second
+	}
+	if c.RetryAfterMax <= 0 {
+		c.RetryAfterMax = 30 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Latency-gradient constants. The short EWMA tracks what latency is
+// doing right now, the long EWMA what it normally is; when the ratio
+// exceeds gradientTolerance the server is falling behind its own
+// baseline and the limit decreases multiplicatively.
+const (
+	shortAlpha        = 0.4
+	longAlpha         = 0.05
+	gradientTolerance = 2.0
+	decreaseFactor    = 0.8
+)
+
+// RejectedError is Acquire's refusal: the bounded queue is full or the
+// CoDel controller shed this request from it. RetryAfter scales with
+// the current queue depth — the hint a server should surface on 429.
+type RejectedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("admission: rejected: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// waiter states: the CAS between dispatcher and canceling acquirer.
+const (
+	waiterWaiting int32 = iota
+	waiterAdmitted
+	waiterDropped
+	waiterCanceled
+)
+
+type waiter struct {
+	ready chan error // buffered 1; nil = admitted
+	enq   time.Time
+	state atomic.Int32
+}
+
+// Controller is the adaptive admission gate: at most limit requests
+// run concurrently, a bounded FIFO absorbs short bursts, CoDel-style
+// sojourn control sheds from the queue when delay stands above target,
+// and the limit itself walks an AIMD search driven by the latency
+// gradient. The zero value is not usable; call NewController.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	limit    float64
+	inflight int
+	queue    []*waiter
+
+	// CoDel state (guarded by mu).
+	firstAbove time.Time // when sojourn first stood above target (+interval)
+	dropping   bool
+	dropNext   time.Time
+	dropCount  int
+
+	// Latency-gradient state (guarded by mu), in float64 nanoseconds.
+	shortLat, longLat float64
+	lastDecrease      time.Time
+
+	// Counters (guarded by mu; snapshotted by Stats).
+	admitted, queued, shed, codelDropped uint64
+}
+
+// NewController returns a controller with cfg's knobs resolved.
+func NewController(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{cfg: cfg, limit: float64(cfg.InitialLimit)}
+}
+
+// curLimitLocked is the integer concurrency limit in force.
+func (c *Controller) curLimitLocked() int {
+	l := int(c.limit)
+	if l < c.cfg.MinLimit {
+		l = c.cfg.MinLimit
+	}
+	return l
+}
+
+// Acquire admits the caller, queues it within the bounded queue, or
+// rejects it. On admission it returns a release function the caller
+// must invoke exactly once with the observed request latency (which
+// feeds the AIMD search; pass 0 to skip the sample). A *RejectedError
+// means shed; a context error means the caller gave up while queued.
+func (c *Controller) Acquire(ctx context.Context) (func(time.Duration), error) {
+	c.mu.Lock()
+	if c.inflight < c.curLimitLocked() && len(c.queue) == 0 {
+		c.inflight++
+		c.admitted++
+		c.mu.Unlock()
+		return c.releaseFunc(), nil
+	}
+	if len(c.queue) >= c.cfg.MaxQueue {
+		c.shed++
+		err := &RejectedError{Reason: "admission queue full", RetryAfter: c.retryAfterLocked()}
+		c.mu.Unlock()
+		return nil, err
+	}
+	w := &waiter{ready: make(chan error, 1), enq: c.cfg.Now()}
+	c.queue = append(c.queue, w)
+	c.queued++
+	c.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		if err != nil {
+			return nil, err
+		}
+		return c.releaseFunc(), nil
+	case <-ctx.Done():
+		if !w.state.CompareAndSwap(waiterWaiting, waiterCanceled) {
+			// The dispatcher resolved us concurrently; honor its verdict
+			// so an already-granted slot is returned, not leaked.
+			if err := <-w.ready; err == nil {
+				c.releaseFunc()(0)
+			}
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the once-only completion callback for one
+// admitted request.
+func (c *Controller) releaseFunc() func(time.Duration) {
+	var once sync.Once
+	return func(latency time.Duration) {
+		once.Do(func() {
+			c.mu.Lock()
+			c.inflight--
+			if latency > 0 {
+				c.updateLimitLocked(latency)
+			}
+			c.dispatchLocked()
+			c.mu.Unlock()
+		})
+	}
+}
+
+// dispatchLocked drains the queue into free slots, applying the CoDel
+// drop law to each dequeued waiter's sojourn time.
+func (c *Controller) dispatchLocked() {
+	now := c.cfg.Now()
+	//lint:ignore ctxflow runs under c.mu with no request context; the loop drains a MaxQueue-bounded queue, and each waiter's own ctx cancellation is honored via the waiter state CAS
+	for len(c.queue) > 0 && c.inflight < c.curLimitLocked() {
+		w := c.queue[0]
+		c.queue = c.queue[1:]
+		if w.state.Load() == waiterCanceled {
+			continue
+		}
+		if c.codelDropLocked(now.Sub(w.enq), now) {
+			if w.state.CompareAndSwap(waiterWaiting, waiterDropped) {
+				c.codelDropped++
+				w.ready <- &RejectedError{Reason: "queue delay above target", RetryAfter: c.retryAfterLocked()}
+			}
+			continue
+		}
+		if w.state.CompareAndSwap(waiterWaiting, waiterAdmitted) {
+			c.inflight++
+			c.admitted++
+			w.ready <- nil
+		}
+	}
+	if len(c.queue) == 0 && !c.dropping {
+		// An empty queue is the strongest "no standing delay" signal.
+		c.firstAbove = time.Time{}
+	}
+}
+
+// codelDropLocked implements the CoDel control law on one dequeue:
+// sojourn below target resets the controller; sojourn standing above
+// target for a full interval enters dropping mode, shedding dequeued
+// waiters at a rate that grows with the square root of the drop count
+// until the queue delay falls back under target.
+func (c *Controller) codelDropLocked(sojourn time.Duration, now time.Time) bool {
+	if sojourn < c.cfg.TargetDelay {
+		c.firstAbove = time.Time{}
+		c.dropping = false
+		c.dropCount = 0
+		return false
+	}
+	if c.firstAbove.IsZero() {
+		c.firstAbove = now.Add(c.cfg.Interval)
+		return false
+	}
+	if !c.dropping {
+		if now.Before(c.firstAbove) {
+			return false
+		}
+		c.dropping = true
+		c.dropCount = 1
+		c.dropNext = now.Add(c.nextDropInterval())
+		// Standing queue delay is overload by definition; shrink the
+		// concurrency limit along with shedding from the queue.
+		c.decreaseLocked(now)
+		return true
+	}
+	if now.Before(c.dropNext) {
+		return false
+	}
+	c.dropCount++
+	c.dropNext = now.Add(c.nextDropInterval())
+	return true
+}
+
+// nextDropInterval is CoDel's sqrt control law: successive drops come
+// interval/sqrt(count) apart, so shedding intensifies the longer the
+// queue stands.
+func (c *Controller) nextDropInterval() time.Duration {
+	return time.Duration(float64(c.cfg.Interval) / math.Sqrt(float64(c.dropCount)))
+}
+
+// updateLimitLocked walks the AIMD search one step using the latency
+// gradient: when the short-term latency EWMA stands more than
+// gradientTolerance above the long-term baseline the limit decreases
+// multiplicatively (at most once per interval), otherwise it increases
+// additively by 1/limit per completion (≈ +1 per round-trip).
+func (c *Controller) updateLimitLocked(latency time.Duration) {
+	l := float64(latency)
+	//lint:ignore floatcmp zero is the unseeded sentinel, assigned exactly and never computed; real latencies are positive
+	if c.shortLat == 0 {
+		c.shortLat, c.longLat = l, l
+	} else {
+		c.shortLat += shortAlpha * (l - c.shortLat)
+		c.longLat += longAlpha * (l - c.longLat)
+	}
+	if c.shortLat > c.longLat*gradientTolerance {
+		c.decreaseLocked(c.cfg.Now())
+		return
+	}
+	c.limit += 1 / c.limit
+	if max := float64(c.cfg.MaxLimit); c.limit > max {
+		c.limit = max
+	}
+}
+
+// decreaseLocked applies one multiplicative decrease, spaced at least
+// an interval apart so a burst of bad samples cannot collapse the
+// limit to the floor in one sweep.
+func (c *Controller) decreaseLocked(now time.Time) {
+	if now.Sub(c.lastDecrease) < c.cfg.Interval {
+		return
+	}
+	c.lastDecrease = now
+	c.limit *= decreaseFactor
+	if min := float64(c.cfg.MinLimit); c.limit < min {
+		c.limit = min
+	}
+}
+
+// retryAfterLocked is the backpressure hint: the base scaled up with
+// how many limit-widths of work are already waiting, so a deep queue
+// tells clients to stay away longer than a graze does.
+func (c *Controller) retryAfterLocked() time.Duration {
+	depth := len(c.queue)
+	limit := c.curLimitLocked()
+	hint := c.cfg.RetryAfterBase * time.Duration(1+depth/limit)
+	if hint > c.cfg.RetryAfterMax {
+		hint = c.cfg.RetryAfterMax
+	}
+	return hint
+}
+
+// RetryAfter exposes the current queue-depth-scaled hint (used by
+// rejection paths that never reach Acquire, e.g. brownout refusals).
+func (c *Controller) RetryAfter() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retryAfterLocked()
+}
+
+// Overloaded reports whether the controller is actively shedding: in
+// CoDel dropping mode, or with its bounded queue at least half full.
+// The brownout detector samples this.
+func (c *Controller) Overloaded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropping || len(c.queue) >= (c.cfg.MaxQueue+1)/2
+}
+
+// Stats is the controller's observability snapshot. The server merges
+// in the middleware-owned counters (deadline rejections, brownout)
+// before publishing it on /v1/stats.
+type Stats struct {
+	Limit            float64 `json:"limit"`
+	Inflight         int     `json:"inflight"`
+	QueueDepth       int     `json:"queue_depth"`
+	Admitted         uint64  `json:"admitted"`
+	Queued           uint64  `json:"queued"`
+	Shed             uint64  `json:"shed"`
+	CoDelDropped     uint64  `json:"codel_dropped"`
+	DeadlineRejected uint64  `json:"deadline_rejected"`
+	BrownoutServed   uint64  `json:"brownout_served"`
+	BrownoutRejected uint64  `json:"brownout_rejected"`
+	BrownoutActive   bool    `json:"brownout_active"`
+	ShortLatencyMs   float64 `json:"short_latency_ms"`
+	LongLatencyMs    float64 `json:"long_latency_ms"`
+}
+
+// Stats snapshots the controller-owned counters and gauges.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Limit:          c.limit,
+		Inflight:       c.inflight,
+		QueueDepth:     len(c.queue),
+		Admitted:       c.admitted,
+		Queued:         c.queued,
+		Shed:           c.shed,
+		CoDelDropped:   c.codelDropped,
+		ShortLatencyMs: c.shortLat / float64(time.Millisecond),
+		LongLatencyMs:  c.longLat / float64(time.Millisecond),
+	}
+}

@@ -255,6 +255,27 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (
 	}
 }
 
+// Peek returns the stored table for key without computing anything and
+// without joining an in-flight solve — the lookup behind brownout's
+// cache-hits-only serving mode, where running a solve is exactly what
+// must not happen. A hit counts toward Hits and refreshes LRU recency;
+// a miss is silent (it never becomes a leader, so it is not a Miss).
+func (c *Cache) Peek(key Key) (*marginal.Table, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	t := el.Value.(*entry).table
+	c.mu.Unlock()
+	// Safe to clone outside the lock: stored tables are never mutated,
+	// and eviction only drops the reference.
+	return t.Clone(), true
+}
+
 // lead runs compute as the flight's leader and publishes the result to
 // the cache (clean results only) and to the flight's waiters.
 func (c *Cache) lead(ctx context.Context, key Key, f *flight, compute func(context.Context) (*marginal.Table, error)) (t *marginal.Table, err error) {

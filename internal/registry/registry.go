@@ -17,6 +17,11 @@
 //   - Bulkhead: each release has its own inflight permit pool and a
 //     byte quota carved from the global cache budget; one hot tenant
 //     saturates itself (429), not the fleet.
+//   - Rate limit + weighted fairness: each release gets a token bucket
+//     (TenantRPS×weight), consulted before its bulkhead, and the
+//     bulkhead permits are themselves weight-scaled — a greedy tenant
+//     runs its own bucket dry while a well-behaved sibling's share is
+//     untouched.
 //   - LRU residency: at most MaxLoaded synopses stay in memory; cold
 //     tenants are evicted (their hot cache keys remembered) and warmed
 //     back up from those keys when re-admitted.
@@ -86,6 +91,20 @@ type Options struct {
 	// single release may have in flight before shedding with 429.
 	// 0 means the default (32); negative disables the bulkhead.
 	MaxInflight int
+	// TenantRPS is the per-release token-bucket rate limit in requests
+	// per second, scaled by the release's weight; a dry bucket rejects
+	// with 429 + Retry-After before the bulkhead is even consulted.
+	// ≤ 0 disables rate limiting (the default).
+	TenantRPS float64
+	// TenantBurst is each bucket's capacity (also weight-scaled);
+	// 0 means the default (2×TenantRPS, floored at 1).
+	TenantBurst float64
+	// Weights assigns per-release fairness weights; absent or
+	// non-positive entries mean 1.0. A release's rate limit is
+	// TenantRPS×weight and its bulkhead carve is MaxInflight×weight
+	// (floored at one permit), so one knob shifts both axes of a
+	// tenant's share.
+	Weights map[string]float64
 	// LoadConcurrency bounds how many release loads (disk read +
 	// checksum + audit) run at once across the whole registry.
 	// 0 means the default (2).
@@ -133,6 +152,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxInflight == 0 {
 		o.MaxInflight = 32
 	}
+	if o.TenantRPS > 0 && o.TenantBurst <= 0 {
+		o.TenantBurst = 2 * o.TenantRPS
+	}
 	if o.LoadConcurrency <= 0 {
 		o.LoadConcurrency = 2
 	}
@@ -164,6 +186,15 @@ func (o Options) withDefaults() Options {
 		o.Logger = log.Default()
 	}
 	return o
+}
+
+// weightFor resolves a release's fairness weight: its Weights entry
+// when positive, else 1.
+func (o Options) weightFor(name string) float64 {
+	if w, ok := o.Weights[name]; ok && w > 0 {
+		return w
+	}
+	return 1
 }
 
 // perReleaseBytes is the equal carve of the global cache budget each

@@ -509,3 +509,159 @@ func TestReconcileHotReload(t *testing.T) {
 	defer lease.Close()
 	mustQuery(t, lease)
 }
+
+func TestTenantRateLimit(t *testing.T) {
+	root := t.TempDir()
+	saveRelease(t, root, "alpha", 1)
+	clock := newFakeClock()
+	opt := quietOpts()
+	opt.Now = clock.Now
+	opt.TenantRPS = 1
+	opt.TenantBurst = 1
+	reg, err := registry.New(root, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ctx := context.Background()
+
+	lease, err := reg.Acquire(ctx, "alpha")
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	lease.Close()
+	// Burst spent; the bucket refills one token per second.
+	var limited *server.RateLimitedError
+	if _, err := reg.Acquire(ctx, "alpha"); !errors.As(err, &limited) {
+		t.Fatalf("over-rate acquire = %v, want RateLimitedError", err)
+	}
+	if limited.RetryAfter <= 0 || limited.RetryAfter > time.Second {
+		t.Errorf("Retry-After = %v, want in (0, 1s]", limited.RetryAfter)
+	}
+	s := stats(t, reg, "alpha")
+	if s.RateLimited != 1 || s.RateLimitRPS != 1 || s.Weight != 1 {
+		t.Errorf("stats = rate_limited %d rps %g weight %g, want 1 1 1", s.RateLimited, s.RateLimitRPS, s.Weight)
+	}
+	clock.Advance(time.Second)
+	lease, err = reg.Acquire(ctx, "alpha")
+	if err != nil {
+		t.Fatalf("acquire after refill: %v", err)
+	}
+	lease.Close()
+}
+
+// TestWeightedFairness proves a release's weight scales both its
+// bulkhead carve and its rate-limit bucket, with a floor of one
+// inflight permit for arbitrarily small weights.
+func TestWeightedFairness(t *testing.T) {
+	root := t.TempDir()
+	saveRelease(t, root, "heavy", 1)
+	saveRelease(t, root, "light", 2)
+	opt := quietOpts()
+	opt.MaxInflight = 4
+	opt.TenantRPS = 10
+	opt.Weights = map[string]float64{"heavy": 2, "light": 0.1}
+	reg, err := registry.New(root, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ctx := context.Background()
+
+	// Touch both so the bulkheads exist, then inspect the carves.
+	for _, name := range []string{"heavy", "light"} {
+		lease, err := reg.Acquire(ctx, name)
+		if err != nil {
+			t.Fatalf("acquire %s: %v", name, err)
+		}
+		lease.Close()
+	}
+	h, l := stats(t, reg, "heavy"), stats(t, reg, "light")
+	if h.InflightLimit != 8 || h.Weight != 2 || h.RateLimitRPS != 20 {
+		t.Errorf("heavy = limit %d weight %g rps %g, want 8 2 20", h.InflightLimit, h.Weight, h.RateLimitRPS)
+	}
+	// 4×0.1 truncates to 0; the floor keeps one permit.
+	if l.InflightLimit != 1 || l.Weight != 0.1 || l.RateLimitRPS != 1 {
+		t.Errorf("light = limit %d weight %g rps %g, want 1 0.1 1", l.InflightLimit, l.Weight, l.RateLimitRPS)
+	}
+}
+
+// TestGreedyTenantIsolation floods one release past its rate limit and
+// proves its sibling never sees an error: per-tenant buckets are the
+// isolation boundary, not a shared limiter.
+func TestGreedyTenantIsolation(t *testing.T) {
+	root := t.TempDir()
+	saveRelease(t, root, "greedy", 1)
+	saveRelease(t, root, "polite", 2)
+	clock := newFakeClock()
+	opt := quietOpts()
+	opt.Now = clock.Now
+	opt.TenantRPS = 1
+	opt.TenantBurst = 1
+	reg, err := registry.New(root, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ctx := context.Background()
+
+	var greedyLimited int
+	for i := 0; i < 20; i++ {
+		if lease, err := reg.Acquire(ctx, "greedy"); err != nil {
+			var limited *server.RateLimitedError
+			if !errors.As(err, &limited) {
+				t.Fatalf("greedy acquire %d: %v, want RateLimitedError", i, err)
+			}
+			greedyLimited++
+		} else {
+			lease.Close()
+		}
+		// The polite tenant stays within its own budget (one query per
+		// simulated second) and must never be turned away.
+		if i%2 == 0 {
+			lease, err := reg.Acquire(ctx, "polite")
+			if err != nil {
+				t.Fatalf("polite acquire %d: %v, want success", i, err)
+			}
+			lease.Close()
+			clock.Advance(time.Second)
+		}
+	}
+	if greedyLimited == 0 {
+		t.Error("greedy tenant was never rate limited")
+	}
+	if s := stats(t, reg, "polite"); s.RateLimited != 0 {
+		t.Errorf("polite tenant rate_limited = %d, want 0", s.RateLimited)
+	}
+}
+
+// TestLeaseForwardsCacheOnlyQuery proves the lease surfaces the pinned
+// querier's brownout cache-only path: a hit for a previously answered
+// query, a miss (not a solve) for a cold one.
+func TestLeaseForwardsCacheOnlyQuery(t *testing.T) {
+	root := t.TempDir()
+	saveRelease(t, root, "alpha", 1)
+	reg, err := registry.New(root, quietOpts()) // default CacheEntries > 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	lease, err := reg.Acquire(context.Background(), "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Close()
+	cq, ok := lease.(server.CacheOnlyQuerier)
+	if !ok {
+		t.Fatal("lease does not implement CacheOnlyQuerier")
+	}
+	if _, hit := cq.QueryCached([]int{0, 1}, core.CME); hit {
+		t.Error("cold cache reported a hit")
+	}
+	mustQuery(t, lease) // populates the cache for {0,1}/CME
+	tab, hit := cq.QueryCached([]int{0, 1}, core.CME)
+	if !hit || tab == nil {
+		t.Fatalf("warm cache miss (hit=%v tab=%v)", hit, tab)
+	}
+}

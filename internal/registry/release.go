@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"priview/internal/admission"
 	"priview/internal/core"
+	"priview/internal/marginal"
 	"priview/internal/qcache"
 	"priview/internal/reconstruct"
 	"priview/internal/server"
@@ -44,7 +46,9 @@ type release struct {
 	reg      *Registry
 	name     string
 	store    *snapshot.Store
-	inflight chan struct{} // bulkhead permits; nil = unbounded
+	inflight chan struct{}          // bulkhead permits (weight-scaled); nil = unbounded
+	bucket   *admission.TokenBucket // per-tenant rate limit; nil = disabled
+	weight   float64                // fairness weight scaling bucket and bulkhead
 
 	// loadedFlag and lastTouch shadow mu-guarded state for the
 	// registry's lock-free LRU scan.
@@ -83,14 +87,25 @@ type counters struct {
 	BackoffRejects atomic.Uint64
 	HalfOpenProbes atomic.Uint64
 	Shed           atomic.Uint64
+	RateLimited    atomic.Uint64
 	Evictions      atomic.Uint64
 	Readmits       atomic.Uint64
 }
 
 func newRelease(reg *Registry, name string, st *snapshot.Store) *release {
-	rl := &release{reg: reg, name: name, store: st}
+	rl := &release{reg: reg, name: name, store: st, weight: reg.opt.weightFor(name)}
 	if reg.opt.MaxInflight > 0 {
-		rl.inflight = make(chan struct{}, reg.opt.MaxInflight)
+		// Weighted bulkhead carve: a heavier tenant may hold more
+		// concurrent queries, but every tenant keeps at least one permit
+		// so a tiny weight cannot starve a release outright.
+		n := int(float64(reg.opt.MaxInflight) * rl.weight)
+		if n < 1 {
+			n = 1
+		}
+		rl.inflight = make(chan struct{}, n)
+	}
+	if reg.opt.TenantRPS > 0 {
+		rl.bucket = admission.NewTokenBucket(reg.opt.TenantRPS*rl.weight, reg.opt.TenantBurst*rl.weight, reg.opt.Now)
 	}
 	return rl
 }
@@ -111,10 +126,30 @@ func (l *lease) Close() {
 	}
 }
 
-// acquire takes a bulkhead permit and resolves the release to a
-// loaded querier, loading it if this is the first hit (or the probe
-// after a breaker cooldown).
+// QueryCached forwards the brownout cache-only lookup to the pinned
+// querier. The forward must be explicit: the embedded Querier is an
+// interface value, so optional interfaces like server.CacheOnlyQuerier
+// do not surface through it via type assertion on the lease.
+func (l *lease) QueryCached(attrs []int, method core.ReconstructMethod) (*marginal.Table, bool) {
+	if cq, ok := l.Querier.(server.CacheOnlyQuerier); ok {
+		return cq.QueryCached(attrs, method)
+	}
+	return nil, false
+}
+
+// acquire runs the tenant's admission ladder — rate limit, then
+// bulkhead, then resolution — and hands back a lease pinned to the
+// querier current at acquire time. The bucket is consulted first so a
+// tenant over its rate cannot even contend for bulkhead permits.
 func (rl *release) acquire(ctx context.Context) (server.Lease, error) {
+	if rl.bucket != nil && !rl.bucket.Allow() {
+		rl.c.RateLimited.Add(1)
+		ra := rl.bucket.NextIn()
+		if ra <= 0 {
+			ra = rl.reg.opt.RetryAfter
+		}
+		return nil, &server.RateLimitedError{RetryAfter: ra}
+	}
 	if rl.inflight != nil {
 		select {
 		case rl.inflight <- struct{}{}:
@@ -542,6 +577,9 @@ type ReleaseStats struct {
 	Reloads             uint64       `json:"reloads"`
 	ReloadFailures      uint64       `json:"reload_failures"`
 	Shed                uint64       `json:"shed"`
+	RateLimited         uint64       `json:"rate_limited"`
+	RateLimitRPS        float64      `json:"rate_limit_rps,omitempty"`
+	Weight              float64      `json:"weight"`
 	Evictions           uint64       `json:"evictions"`
 	Readmits            uint64       `json:"readmits"`
 	LastError           string       `json:"last_error,omitempty"`
@@ -587,6 +625,11 @@ func (rl *release) stats() ReleaseStats {
 	s.Reloads = rl.c.Reloads.Load()
 	s.ReloadFailures = rl.c.ReloadFailures.Load()
 	s.Shed = rl.c.Shed.Load()
+	s.RateLimited = rl.c.RateLimited.Load()
+	s.Weight = rl.weight
+	if rl.bucket != nil {
+		s.RateLimitRPS = rl.reg.opt.TenantRPS * rl.weight
+	}
 	s.Evictions = rl.c.Evictions.Load()
 	s.Readmits = rl.c.Readmits.Load()
 	if rl.inflight != nil {

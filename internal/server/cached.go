@@ -21,6 +21,17 @@ type CacheStatser interface {
 	CacheStats() (stats qcache.Stats, enabled bool)
 }
 
+// CacheOnlyQuerier is implemented by Queriers that can answer a query
+// from already-memoized state without running a solve. The brownout
+// serving mode depends on it: under sustained overload the server
+// answers non-priority traffic from cache hits alone, and a querier
+// that cannot do that simply has nothing to serve in that mode.
+type CacheOnlyQuerier interface {
+	// QueryCached returns the memoized marginal for (attrs, method), or
+	// ok=false when it is not cached. It must never trigger a solve.
+	QueryCached(attrs []int, method core.ReconstructMethod) (*marginal.Table, bool)
+}
+
 // CachedQuerier wraps any Querier with a memoizing qcache layer: a
 // repeated (attrs, method) query is answered from the cache instead of
 // re-running the reconstruction solve, which is sound because a
@@ -55,6 +66,16 @@ func (c *CachedQuerier) QueryMethodContext(ctx context.Context, attrs []int, met
 	return c.cache.Do(ctx, key, func(ctx context.Context) (*marginal.Table, error) {
 		return c.Querier.QueryMethodContext(ctx, attrs, method)
 	})
+}
+
+// QueryCached implements CacheOnlyQuerier: a pure cache peek that never
+// solves and never joins an in-flight solve.
+func (c *CachedQuerier) QueryCached(attrs []int, method core.ReconstructMethod) (*marginal.Table, bool) {
+	key, ok := qcache.KeyFor(attrs, int(method))
+	if !ok {
+		return nil, false
+	}
+	return c.cache.Peek(key)
 }
 
 // CacheStats implements CacheStatser.

@@ -3,12 +3,14 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +50,19 @@ type RetryPolicy struct {
 	// Seed makes the jitter deterministic for tests (0 selects a fixed
 	// default seed; runs are reproducible either way).
 	Seed uint64
+	// RetryBudget, when positive, bounds retry amplification: every
+	// successful request deposits RetryBudget tokens and every retry
+	// withdraws one, so sustained retry traffic cannot exceed that
+	// fraction of successful traffic (0.1 ≈ 10% extra load). When the
+	// budget is empty the client returns the last error immediately —
+	// wrapped so errors.Is(err, ErrRetryBudget) detects it — instead of
+	// amplifying an outage into a retry storm. 0 disables the budget,
+	// preserving plain MaxAttempts behavior.
+	RetryBudget float64
+	// RetryBurst caps the banked tokens and seeds the starting balance
+	// (default 3 when RetryBudget is set) so cold-start transients still
+	// get a few retries before any success has funded the budget.
+	RetryBurst float64
 }
 
 func (p RetryPolicy) maxAttempts() int {
@@ -76,15 +91,66 @@ func (p RetryPolicy) maxDelay() time.Duration {
 // isn't happening" rather than slept through.
 const retryAfterCap = 30 * time.Second
 
+// ErrRetryBudget marks errors returned when the retry budget refused
+// another attempt; detect it with errors.Is.
+var ErrRetryBudget = errors.New("server: retry budget exhausted")
+
 // Client is a typed client for the priview-serve HTTP API. All its
 // requests are GETs — idempotent by construction — so transient
 // connection errors and retryable statuses (429 and 5xx) are retried
 // with exponential backoff and jitter, honoring Retry-After.
+//
+// Two overload-control behaviors are built in. Every attempt carries
+// the caller's remaining context budget in the X-Priview-Deadline-Ms
+// header so the server can decline work the client will abandon anyway,
+// and a backoff that would outlive the remaining budget fails
+// immediately instead of being slept through. Optionally,
+// RetryPolicy.RetryBudget bounds retry amplification fleet-wide.
 type Client struct {
-	base   string
-	hc     *http.Client
-	policy RetryPolicy
-	rng    *jitterRand
+	base     string
+	hc       *http.Client
+	policy   RetryPolicy
+	rng      *jitterRand
+	budget   *retryBudget // nil = no retry budget
+	priority string
+
+	attempts, retries, budgetDenied atomic.Uint64
+}
+
+// retryBudget is the success-funded token bucket behind
+// RetryPolicy.RetryBudget. Unlike a time-based bucket it refills on
+// success, which is the point: when nothing succeeds, nothing funds
+// further retries.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	limit  float64 // cap on banked tokens
+	earn   float64 // deposit per success
+}
+
+func (b *retryBudget) withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+func (b *retryBudget) deposit() {
+	b.mu.Lock()
+	b.tokens += b.earn
+	if b.tokens > b.limit {
+		b.tokens = b.limit
+	}
+	b.mu.Unlock()
+}
+
+func (b *retryBudget) balance() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
 }
 
 // NewClient returns a client for a server at base (e.g.
@@ -106,12 +172,56 @@ func NewClientWithPolicy(base string, httpClient *http.Client, policy RetryPolic
 		seed = 0x5deece66d
 	}
 	rng.state.Store(seed)
-	return &Client{
+	c := &Client{
 		base:   strings.TrimRight(base, "/"),
 		hc:     httpClient,
 		policy: policy,
 		rng:    rng,
 	}
+	if policy.RetryBudget > 0 {
+		burst := policy.RetryBurst
+		if burst <= 0 {
+			burst = 3
+		}
+		c.budget = &retryBudget{tokens: burst, limit: burst, earn: policy.RetryBudget}
+	}
+	return c
+}
+
+// SetPriority sets the traffic class sent in the X-Priview-Priority
+// header on every request; PriorityHigh exempts this client from
+// server-side brownout degradation. Call before sharing the client
+// across goroutines.
+func (c *Client) SetPriority(p string) { c.priority = p }
+
+// RetryStats is a snapshot of the client's retry observability
+// counters.
+type RetryStats struct {
+	// Attempts counts HTTP requests issued, including each first try.
+	Attempts uint64
+	// Retries counts attempts beyond each request's first — the
+	// amplification numerator.
+	Retries uint64
+	// BudgetDenied counts retries refused by the retry budget.
+	BudgetDenied uint64
+	// BudgetTokens is the current banked balance, -1 when the budget is
+	// disabled.
+	BudgetTokens float64
+}
+
+// RetryStats returns the client's retry counters. Safe for concurrent
+// use.
+func (c *Client) RetryStats() RetryStats {
+	st := RetryStats{
+		Attempts:     c.attempts.Load(),
+		Retries:      c.retries.Load(),
+		BudgetDenied: c.budgetDenied.Load(),
+		BudgetTokens: -1,
+	}
+	if c.budget != nil {
+		st.BudgetTokens = c.budget.balance()
+	}
+	return st
 }
 
 // Info describes the served synopsis.
@@ -206,14 +316,41 @@ func (c *Client) getJSON(ctx context.Context, path string, v interface{}) error 
 	hint := time.Duration(0)
 	for attempt := 0; attempt < c.policy.maxAttempts(); attempt++ {
 		if attempt > 0 {
-			if err := c.sleep(ctx, c.backoff(attempt, hint)); err != nil {
+			d := c.backoff(attempt, hint)
+			if deadline, ok := ctx.Deadline(); ok {
+				if remain := time.Until(deadline); remain <= d {
+					// The backoff sleep alone would consume the caller's
+					// whole remaining budget; fail now rather than burn
+					// the rest of the deadline asleep.
+					return fmt.Errorf("server: %v remaining for %v backoff: %w (last error: %v)",
+						remain.Round(time.Millisecond), d.Round(time.Millisecond),
+						context.DeadlineExceeded, lastErr)
+				}
+			}
+			if c.budget != nil && !c.budget.withdraw() {
+				c.budgetDenied.Add(1)
+				return fmt.Errorf("%w after %d attempts (last error: %v)", ErrRetryBudget, attempt, lastErr)
+			}
+			if err := c.sleep(ctx, d); err != nil {
 				return fmt.Errorf("server: giving up after %d attempts: %w (last error: %v)", attempt, err, lastErr)
 			}
+			c.retries.Add(1)
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 		if err != nil {
 			return fmt.Errorf("server: %w", err)
 		}
+		// Propagate the remaining budget so the server can fast-fail
+		// work this client would abandon anyway.
+		if deadline, ok := ctx.Deadline(); ok {
+			if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+				req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+			}
+		}
+		if c.priority != "" {
+			req.Header.Set(PriorityHeader, c.priority)
+		}
+		c.attempts.Add(1)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -237,6 +374,9 @@ func (c *Client) getJSON(ctx context.Context, path string, v interface{}) error 
 			if err := json.Unmarshal(body, v); err != nil {
 				return fmt.Errorf("server: decoding response: %w", err)
 			}
+			if c.budget != nil {
+				c.budget.deposit()
+			}
 			return nil
 		}
 		statusErr := fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
@@ -244,7 +384,7 @@ func (c *Client) getJSON(ctx context.Context, path string, v interface{}) error 
 			return statusErr
 		}
 		lastErr = statusErr
-		hint = parseRetryAfter(resp.Header.Get("Retry-After"))
+		hint = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	}
 	return fmt.Errorf("%w (after %d attempts)", lastErr, c.policy.maxAttempts())
 }
@@ -265,19 +405,37 @@ func retryableStatus(code int) bool {
 	return false
 }
 
-// parseRetryAfter reads a Retry-After header in the delay-seconds form
-// (the form this server emits); absent or unparseable values yield 0,
-// falling back to computed backoff. HTTP-date values are ignored — a
-// clock-skewed date is worse than local backoff.
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads a Retry-After header in either standard form:
+// delay-seconds (the form this server emits) or HTTP-date, measured
+// against now. Absent or unparseable values yield 0, falling back to
+// computed backoff, and both forms are clamped to retryAfterCap — a
+// skewed clock or hostile date must not schedule an hour-long sleep.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(v))
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return clampRetryAfter(time.Duration(secs) * time.Second)
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	return clampRetryAfter(t.Sub(now))
+}
+
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	if d > retryAfterCap {
+		return retryAfterCap
+	}
+	return d
 }
 
 // backoff computes the sleep before the attempt-th try (attempt ≥ 1):

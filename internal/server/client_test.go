@@ -87,15 +87,21 @@ func TestRetryableStatus(t *testing.T) {
 }
 
 func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2015, 10, 21, 7, 28, 0, 0, time.UTC)
 	for raw, want := range map[string]time.Duration{
-		"":                              0,
-		"2":                             2 * time.Second,
-		" 10 ":                          10 * time.Second,
-		"-1":                            0,
-		"soon":                          0,
-		"Wed, 21 Oct 2015 07:28:00 GMT": 0, // HTTP-date form ignored
+		"":      0,
+		"2":     2 * time.Second,
+		" 10 ":  10 * time.Second,
+		"-1":    0,
+		"soon":  0,
+		"86400": retryAfterCap, // delay-seconds clamped to the cap
+		// HTTP-date form, measured against now.
+		"Wed, 21 Oct 2015 07:28:05 GMT": 5 * time.Second,
+		"Wed, 21 Oct 2015 07:27:00 GMT": 0,             // already past
+		"Thu, 22 Oct 2015 07:28:00 GMT": retryAfterCap, // clamped
+		"Wed, 99 Oct 2015 07:28:00 GMT": 0,             // malformed date
 	} {
-		if got := parseRetryAfter(raw); got != want {
+		if got := parseRetryAfter(raw, now); got != want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", raw, got, want)
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"priview/internal/admission"
 	"priview/internal/reconstruct"
 )
 
@@ -19,6 +20,7 @@ import (
 //	ErrUnknownRelease → 404
 //	UnavailableError  → 503 + Retry-After (breaker open, load backoff)
 //	SaturatedError    → 429 + Retry-After (per-release bulkhead full)
+//	RateLimitedError  → 429 + Retry-After (per-tenant token bucket dry)
 var ErrUnknownRelease = errors.New("server: unknown release")
 
 // UnavailableError reports that a release exists but cannot serve right
@@ -43,6 +45,19 @@ type SaturatedError struct {
 
 func (e *SaturatedError) Error() string {
 	return fmt.Sprintf("server: release at capacity (retry after %v)", e.RetryAfter)
+}
+
+// RateLimitedError reports that the tenant's token-bucket rate limit
+// refused the request. Like saturation it maps to 429, but it is a
+// different condition — saturation is too much concurrency right now,
+// rate limiting is too many requests over the refill window — and
+// RetryAfter here says when the bucket will hold a token again.
+type RateLimitedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("server: release rate limited (retry after %v)", e.RetryAfter)
 }
 
 // Lease is an admitted, loaded release: a Querier plus the obligation
@@ -83,6 +98,7 @@ type Multi struct {
 	mux      *http.ServeMux
 	opt      Options
 	inflight chan struct{} // global shed, on top of per-release bulkheads
+	ov       *overload
 	draining atomic.Bool
 }
 
@@ -99,8 +115,8 @@ func NewMulti(res Resolver, defaultRelease string, opt Options) *Multi {
 	if opt.Logger == nil {
 		opt.Logger = log.Default()
 	}
-	m := &Multi{res: res, def: defaultRelease, mux: http.NewServeMux(), opt: opt}
-	if opt.MaxInflight > 0 {
+	m := &Multi{res: res, def: defaultRelease, mux: http.NewServeMux(), opt: opt, ov: newOverload(opt)}
+	if opt.MaxInflight > 0 && m.ov.ctrl == nil {
 		m.inflight = make(chan struct{}, opt.MaxInflight)
 	}
 	m.mux.Handle("/healthz", m.recovered(http.HandlerFunc(m.handleHealth)))
@@ -108,7 +124,13 @@ func NewMulti(res Resolver, defaultRelease string, opt Options) *Multi {
 	m.mux.Handle("/v1/releases", m.recovered(http.HandlerFunc(m.handleReleases)))
 	// Named-release routes plus the legacy aliases. Order of middleware
 	// matches the singleton server: shed before arming the deadline.
-	marginal := m.recovered(m.shedding(m.deadlined(http.HandlerFunc(m.handleMarginal))))
+	inner := m.ov.deadlined(http.HandlerFunc(m.handleMarginal))
+	var marginal http.Handler
+	if m.ov.ctrl != nil {
+		marginal = m.recovered(m.ov.admitted(inner, m.tryCacheOnly))
+	} else {
+		marginal = m.recovered(m.shedding(inner))
+	}
 	m.mux.Handle("/v1/{release}/marginal", marginal)
 	m.mux.Handle("/v1/marginal", marginal)
 	info := m.recovered(http.HandlerFunc(m.handleInfo))
@@ -131,6 +153,11 @@ func (m *Multi) SetDraining(v bool) { m.draining.Store(v) }
 // Draining reports whether the router is refusing its health probe.
 func (m *Multi) Draining() bool { return m.draining.Load() }
 
+// AdmissionStats snapshots the router-wide overload-control counters
+// (the same object /v1/releases serves), or nil when no overload
+// machinery has engaged. For operator logging.
+func (m *Multi) AdmissionStats() *admission.Stats { return m.ov.stats() }
+
 // releaseName resolves which release a request addresses: the {release}
 // path segment, or the configured default for legacy routes. ok is
 // false for a legacy route with no default configured.
@@ -141,10 +168,29 @@ func (m *Multi) releaseName(r *http.Request) (string, bool) {
 	return m.def, m.def != ""
 }
 
+// tryCacheOnly is the brownout hook: resolve the release and answer the
+// marginal from its memoized cache alone. Resolution failures return
+// false — the normal path owns the 404/503/429 mapping, and a request
+// that would fail resolution must fail identically in and out of
+// brownout.
+func (m *Multi) tryCacheOnly(w http.ResponseWriter, r *http.Request) bool {
+	name, ok := m.releaseName(r)
+	if !ok {
+		return false
+	}
+	lease, err := m.res.Acquire(r.Context(), name)
+	if err != nil {
+		return false
+	}
+	defer lease.Close()
+	return m.ov.serveCacheOnly(w, r, lease)
+}
+
 // writeResolveError maps a Resolver error onto the HTTP failure model.
 func (m *Multi) writeResolveError(w http.ResponseWriter, r *http.Request, err error) {
 	var unavailable *UnavailableError
 	var saturated *SaturatedError
+	var ratelimited *RateLimitedError
 	switch {
 	case errors.Is(err, ErrUnknownRelease):
 		http.Error(w, "unknown release", http.StatusNotFound)
@@ -154,6 +200,9 @@ func (m *Multi) writeResolveError(w http.ResponseWriter, r *http.Request, err er
 	case errors.As(err, &saturated):
 		w.Header().Set("Retry-After", retryAfterSeconds(saturated.RetryAfter))
 		http.Error(w, "release at capacity, retry later", http.StatusTooManyRequests)
+	case errors.As(err, &ratelimited):
+		w.Header().Set("Retry-After", retryAfterSeconds(ratelimited.RetryAfter))
+		http.Error(w, "release rate limited, retry later", http.StatusTooManyRequests)
 	case errors.Is(err, reconstruct.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
 	case errors.Is(err, reconstruct.ErrCanceled) || errors.Is(err, context.Canceled):
@@ -176,7 +225,7 @@ func (m *Multi) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer lease.Close()
-	serveMarginal(w, r, lease, m.opt.MaxK, m.opt.Logger)
+	serveMarginal(w, r, lease, serveEnv{maxK: m.opt.MaxK, logger: m.opt.Logger, svc: m.ov.svc})
 }
 
 func (m *Multi) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -216,10 +265,14 @@ func (m *Multi) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, m.opt.Logger, stats)
 }
 
-// releasesResponse lists the registered releases.
+// releasesResponse lists the registered releases plus the router-wide
+// admission snapshot (omitted for a legacy semaphore configuration).
+// The admission stats live here rather than on the per-release stats
+// route because the controller gates the whole router, not one tenant.
 type releasesResponse struct {
-	Default  string   `json:"default,omitempty"`
-	Releases []string `json:"releases"`
+	Default   string           `json:"default,omitempty"`
+	Releases  []string         `json:"releases"`
+	Admission *admission.Stats `json:"admission,omitempty"`
 }
 
 func (m *Multi) handleReleases(w http.ResponseWriter, r *http.Request) {
@@ -231,7 +284,7 @@ func (m *Multi) handleReleases(w http.ResponseWriter, r *http.Request) {
 	if names == nil {
 		names = []string{}
 	}
-	writeJSON(w, m.opt.Logger, releasesResponse{Default: m.def, Releases: names})
+	writeJSON(w, m.opt.Logger, releasesResponse{Default: m.def, Releases: names, Admission: m.ov.stats()})
 }
 
 func (m *Multi) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -266,10 +319,10 @@ func (m *Multi) handleReady(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// recovered, shedding and deadlined mirror the singleton Server's
-// middleware; the multi router keeps its own copies because its
-// shedding is the *global* backstop — per-release bulkheads are the
-// Resolver's job.
+// recovered and shedding mirror the singleton Server's middleware; the
+// multi router keeps its own copies because its shedding is the
+// *global* backstop — per-release bulkheads are the Resolver's job.
+// The deadline middleware is the shared overload.deadlined.
 func (m *Multi) recovered(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
@@ -296,16 +349,5 @@ func (m *Multi) shedding(h http.Handler) http.Handler {
 			w.Header().Set("Retry-After", retryAfter)
 			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
 		}
-	})
-}
-
-func (m *Multi) deadlined(h http.Handler) http.Handler {
-	if m.opt.QueryTimeout <= 0 {
-		return h
-	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), m.opt.QueryTimeout)
-		defer cancel()
-		h.ServeHTTP(w, r.WithContext(ctx))
 	})
 }

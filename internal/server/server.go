@@ -5,10 +5,22 @@
 // engine suitable for public deployment.
 //
 // The serving path has an explicit failure model: per-request deadlines
-// (504 on expiry), semaphore load shedding (429 + Retry-After when
-// saturated), panic recovery (500 with a logged stack), and a draining
-// state that flips /healthz to 503 so load balancers stop routing to an
-// instance that is shutting down.
+// (504 on expiry), load shedding (429 + Retry-After when saturated),
+// panic recovery (500 with a logged stack), and a draining state that
+// flips /healthz to 503 so load balancers stop routing to an instance
+// that is shutting down.
+//
+// Shedding comes in two grades. The default is a plain semaphore:
+// MaxInflight concurrent queries, instant 429 past that. Setting
+// Options.Admission upgrades it to the adaptive controller from
+// internal/admission — a bounded queue absorbs bursts, CoDel-style
+// sojourn control sheds from the queue when delay stands above target,
+// an AIMD search adapts the concurrency limit to the latency gradient,
+// and requests arriving with less remaining deadline (propagated via
+// X-Priview-Deadline-Ms) than the method's expected service time are
+// fast-failed instead of admitted. Options.Brownout additionally
+// degrades non-priority traffic to cache-hits-only under sustained
+// overload.
 package server
 
 import (
@@ -25,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"priview/internal/admission"
 	"priview/internal/core"
 	"priview/internal/covering"
 	"priview/internal/marginal"
@@ -66,6 +79,16 @@ type Options struct {
 	// RetryAfter is the hint written on shed responses (default 1s,
 	// rounded up to whole seconds as the header requires).
 	RetryAfter time.Duration
+	// Admission, when non-nil, replaces the instant-429 semaphore with
+	// the adaptive admission controller (bounded queue + CoDel sojourn
+	// control + AIMD concurrency limit) and arms the deadline gate fed
+	// by the per-method service-time EWMA. MaxInflight then seeds the
+	// controller's MaxLimit and MaxQueue defaults instead of sizing a
+	// semaphore.
+	Admission *admission.Config
+	// Brownout, when non-nil (and Admission set), serves non-priority
+	// traffic from cache hits only under sustained overload.
+	Brownout *admission.BrownoutConfig
 	// Logger receives panic stacks and response-encoding failures
 	// (default log.Default()).
 	Logger *log.Logger
@@ -76,7 +99,8 @@ type Server struct {
 	syn      Querier
 	mux      *http.ServeMux
 	opt      Options
-	inflight chan struct{} // nil when shedding is disabled
+	inflight chan struct{} // nil when semaphore shedding is disabled
+	ov       *overload
 	draining atomic.Bool
 }
 
@@ -98,8 +122,8 @@ func NewWithOptions(syn Querier, opt Options) *Server {
 	if opt.Logger == nil {
 		opt.Logger = log.Default()
 	}
-	s := &Server{syn: syn, mux: http.NewServeMux(), opt: opt}
-	if opt.MaxInflight > 0 {
+	s := &Server{syn: syn, mux: http.NewServeMux(), opt: opt, ov: newOverload(opt)}
+	if opt.MaxInflight > 0 && s.ov.ctrl == nil {
 		s.inflight = make(chan struct{}, opt.MaxInflight)
 	}
 	// The health probe gets the same panic recovery as every other
@@ -110,9 +134,21 @@ func NewWithOptions(syn Querier, opt Options) *Server {
 	s.mux.Handle("/v1/stats", s.recovered(http.HandlerFunc(s.handleStats)))
 	// Shed before arming the deadline: a request rejected for capacity
 	// should not consume any of its reconstruction budget.
-	s.mux.Handle("/v1/marginal",
-		s.recovered(s.shedding(s.deadlined(http.HandlerFunc(s.handleMarginal)))))
+	inner := s.ov.deadlined(http.HandlerFunc(s.handleMarginal))
+	var gated http.Handler
+	if s.ov.ctrl != nil {
+		gated = s.ov.admitted(inner, s.tryCacheOnly)
+	} else {
+		gated = s.shedding(inner)
+	}
+	s.mux.Handle("/v1/marginal", s.recovered(gated))
 	return s
+}
+
+// tryCacheOnly is the brownout hook: serve the marginal from the
+// synopsis's memoized cache alone, or refuse.
+func (s *Server) tryCacheOnly(w http.ResponseWriter, r *http.Request) bool {
+	return s.ov.serveCacheOnly(w, r, s.syn)
 }
 
 // ServeHTTP implements http.Handler.
@@ -127,6 +163,11 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Draining reports whether the server is refusing its health probe.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// AdmissionStats snapshots the overload-control counters (the same
+// object /v1/stats serves), or nil when no overload machinery has
+// engaged. For operator logging.
+func (s *Server) AdmissionStats() *admission.Stats { return s.ov.stats() }
 
 // recovered converts handler panics into 500s with a logged stack.
 // Panics are internal failures; without this they would tear down the
@@ -172,19 +213,6 @@ func retryAfterSeconds(d time.Duration) string {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
-}
-
-// deadlined arms the per-request reconstruction deadline on the request
-// context; the query path maps its expiry to 504.
-func (s *Server) deadlined(h http.Handler) http.Handler {
-	if s.opt.QueryTimeout <= 0 {
-		return h
-	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.opt.QueryTimeout)
-		defer cancel()
-		h.ServeHTTP(w, r.WithContext(ctx))
-	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -236,11 +264,14 @@ func serveInfo(w http.ResponseWriter, r *http.Request, q Querier, maxK int, logg
 	writeJSON(w, logger, resp)
 }
 
-// statsResponse reports the query cache's counters. Cache is false (and
-// the counters zero) when the served Querier maintains no cache.
+// statsResponse reports the query cache's counters and, when overload
+// control is active, the admission controller's snapshot. Cache is
+// false (and the counters zero) when the served Querier maintains no
+// cache; Admission is omitted for a legacy semaphore configuration.
 type statsResponse struct {
 	Cache bool `json:"cache"`
 	qcache.Stats
+	Admission *admission.Stats `json:"admission,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -254,6 +285,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp = statsResponse{Cache: true, Stats: st}
 		}
 	}
+	resp.Admission = s.ov.stats()
 	s.writeJSON(w, resp)
 }
 
@@ -270,13 +302,22 @@ type marginalResponse struct {
 }
 
 func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
-	serveMarginal(w, r, s.syn, s.opt.MaxK, s.opt.Logger)
+	serveMarginal(w, r, s.syn, serveEnv{maxK: s.opt.MaxK, logger: s.opt.Logger, svc: s.ov.svc})
+}
+
+// serveEnv carries the serving context serveMarginal needs beyond the
+// Querier itself; both the singleton Server and the multi-tenant router
+// assemble one from their own options.
+type serveEnv struct {
+	maxK   int
+	logger *log.Logger
+	svc    *admission.ServiceTime // nil = no service-time tracking
 }
 
 // serveMarginal validates, reconstructs and answers one marginal query
 // against q. Shared between the singleton Server and the multi-tenant
 // router, which resolves q per release.
-func serveMarginal(w http.ResponseWriter, r *http.Request, q Querier, maxK int, logger *log.Logger) {
+func serveMarginal(w http.ResponseWriter, r *http.Request, q Querier, env serveEnv) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -286,8 +327,8 @@ func serveMarginal(w http.ResponseWriter, r *http.Request, q Querier, maxK int, 
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(attrs) > maxK {
-		http.Error(w, fmt.Sprintf("at most %d attributes per query", maxK), http.StatusBadRequest)
+	if len(attrs) > env.maxK {
+		http.Error(w, fmt.Sprintf("at most %d attributes per query", env.maxK), http.StatusBadRequest)
 		return
 	}
 	if dg := q.Design(); dg != nil {
@@ -305,10 +346,16 @@ func serveMarginal(w http.ResponseWriter, r *http.Request, q Querier, maxK int, 
 	}
 	// Input is validated; from here every failure is the server's, not
 	// the client's. Panics propagate to the recovery middleware (500).
+	start := time.Now()
 	table, err := q.QueryMethodContext(r.Context(), attrs, method)
+	if env.svc != nil && (err == nil || errors.Is(err, reconstruct.ErrNumerical)) {
+		// Only completed solves feed the estimate; a timed-out query
+		// measures its own truncation, not the method's service time.
+		env.svc.Observe(int(method), time.Since(start))
+	}
 	switch {
 	case err == nil && table != nil:
-		writeJSON(w, logger, marginalResponse{
+		writeJSON(w, env.logger, marginalResponse{
 			Attrs:  table.Attrs,
 			Method: method.String(),
 			Total:  table.Total(),
@@ -317,8 +364,8 @@ func serveMarginal(w http.ResponseWriter, r *http.Request, q Querier, maxK int, 
 	case errors.Is(err, reconstruct.ErrNumerical) && table != nil:
 		// The numerical fallback chain produced a finite answer; serve
 		// it (marked degraded) rather than failing the query.
-		logger.Printf("server: query attrs=%v method=%s degraded: %v", attrs, method, err)
-		writeJSON(w, logger, marginalResponse{
+		env.logger.Printf("server: query attrs=%v method=%s degraded: %v", attrs, method, err)
+		writeJSON(w, env.logger, marginalResponse{
 			Attrs:    table.Attrs,
 			Method:   method.String(),
 			Total:    table.Total(),
@@ -331,7 +378,7 @@ func serveMarginal(w http.ResponseWriter, r *http.Request, q Querier, maxK int, 
 		// The client went away; the status is for logs only.
 		w.WriteHeader(statusClientClosedRequest)
 	default:
-		logger.Printf("server: query attrs=%v method=%s failed: %v", attrs, method, err)
+		env.logger.Printf("server: query attrs=%v method=%s failed: %v", attrs, method, err)
 		http.Error(w, "internal error", http.StatusInternalServerError)
 	}
 }

@@ -61,3 +61,12 @@ func (s *Swappable) CacheStats() (qcache.Stats, bool) {
 	}
 	return qcache.Stats{}, false
 }
+
+// QueryCached implements CacheOnlyQuerier by delegating to the current
+// querier; a bare synopsis with no cache simply never hits.
+func (s *Swappable) QueryCached(attrs []int, method core.ReconstructMethod) (*marginal.Table, bool) {
+	if cq, ok := s.Current().(CacheOnlyQuerier); ok {
+		return cq.QueryCached(attrs, method)
+	}
+	return nil, false
+}
