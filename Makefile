@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos chaos-registry chaos-overload fuzz-short audit bench check
+.PHONY: all build vet lint test race chaos chaos-registry chaos-overload fuzz-short audit bench bench-batch check
 
 all: build
 
@@ -57,13 +57,14 @@ chaos-registry:
 
 # The overload-control suite: admission controller unit tests, the 2×
 # overload storm (goodput floor, bounded admitted p99 with a slow
-# solver), the client retry-amplification bound, and the greedy-tenant
+# solver), the mixed single+batch storm over the batched marginal
+# route, the client retry-amplification bound, and the greedy-tenant
 # fairness proof. Always under -race. Set PRIVIEW_OVERLOAD_REPORT to a
 # path to capture the storm's latency partitions as JSON (CI uploads it
 # as an artifact). See DESIGN.md §13.
 chaos-overload:
 	$(GO) test -race ./internal/admission/
-	$(GO) test -race -run 'TestOverloadStorm|TestRetryAmplificationBounded|TestGreedyTenantFairness' ./internal/chaos/
+	$(GO) test -race -run 'TestOverloadStorm|TestBatchOverloadStorm|TestRetryAmplificationBounded|TestGreedyTenantFairness' ./internal/chaos/
 
 # The query-cache benchmarks (cached vs uncached reconstruction at the
 # qcache and HTTP layers) plus the attrset before/after suite (pairwise
@@ -78,6 +79,12 @@ bench:
 	$(GO) test -run='^$$' -bench='BenchmarkDedupeIdentical' -benchmem -benchtime=$(BENCHTIME) ./internal/reconstruct/
 	$(GO) test -run='^$$' -bench='BenchmarkPairwiseScan|BenchmarkIntersectionClosure|BenchmarkFromAttrs' -benchmem -benchtime=$(BENCHTIME) ./internal/attrset/
 	$(GO) test -run='^$$' -bench='BenchmarkHotLoopProjection' -benchmem -benchtime=$(BENCHTIME) ./internal/marginal/
+
+# Batched-query wall-clock: QueryBatch vs the sequential loop on the
+# all-3-way workload, both paths in one binary. Reference numbers (and
+# the single-CPU-runner caveat) live in BENCH_batch.json.
+bench-batch:
+	$(GO) test -run='^$$' -bench='BenchmarkAllThreeWaySequential|BenchmarkAllThreeWayBatch' -benchmem -benchtime=$(BENCHTIME) ./internal/core/
 
 # Short coverage-guided fuzz runs over the untrusted-input decoders:
 # snapshot container parsing and the audit-over-load pipeline. Ten

@@ -108,6 +108,8 @@ func main() {
 	tenantRPS := flag.Float64("tenant-rps", 0, "registry mode: per-release token-bucket rate limit in requests/second, scaled by -tenant-weights (0 disables)")
 	tenantWeights := flag.String("tenant-weights", "", `registry mode: comma-separated name=weight fairness overrides (e.g. "gold=4,best-effort=0.5"); weight scales a release's rate limit and inflight carve`)
 	brownout := flag.Duration("brownout", 0, "serve cache hits only to non-priority traffic after this long of sustained overload (0 disables; requires adaptive admission)")
+	batchMax := flag.Int("batch-max", 256, "largest query count one POST /v1/marginals batch may carry")
+	batchWorkers := flag.Int("batch-workers", 0, "solver goroutines one batch may fan over (0 = GOMAXPROCS)")
 	flag.Parse()
 	modes := 0
 	for _, set := range []bool{*synPath != "", *storeDir != "", *registryRoot != ""} {
@@ -127,6 +129,8 @@ func main() {
 		MaxK:         *maxK,
 		QueryTimeout: *queryTimeout,
 		MaxInflight:  *maxInflight,
+		MaxBatch:     *batchMax,
+		BatchWorkers: *batchWorkers,
 	}
 	if *admissionTarget > 0 {
 		// Adaptive admission replaces the instant-429 semaphore: queries

@@ -347,69 +347,162 @@ func cmdAudit(args []string) error {
 	return nil
 }
 
+// parseCoreMethod maps a method name (the server's spelling) to the
+// core estimator.
+func parseCoreMethod(s string) (core.ReconstructMethod, error) {
+	switch strings.ToUpper(s) {
+	case "", "CME":
+		return core.CME, nil
+	case "CLN":
+		return core.CLN, nil
+	case "LP":
+		return core.LP, nil
+	case "CLP":
+		return core.CLP, nil
+	case "CMEDUAL", "CME-DUAL":
+		return core.CMEDual, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+// parseAttrSets parses the -attrs syntax: comma-separated attribute
+// indices, with ';' separating the sets of a batch.
+func parseAttrSets(raw string) ([][]int, error) {
+	var sets [][]int
+	for _, group := range strings.Split(raw, ";") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		var attrs []int
+		for _, part := range strings.Split(group, ",") {
+			a, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad attribute %q", part)
+			}
+			attrs = append(attrs, a)
+		}
+		sort.Ints(attrs)
+		sets = append(sets, attrs)
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("no attribute sets")
+	}
+	return sets, nil
+}
+
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	synPath := fs.String("synopsis", "", "synopsis file (local mode)")
 	serverURL := fs.String("server", "", "priview-serve base URL (remote mode, e.g. http://host:8080 or http://host:8080/v1/name for a release)")
-	attrsFlag := fs.String("attrs", "", "comma-separated attribute indices (required)")
-	method := fs.String("method", "CME", "reconstruction method: CME, CLN, CLP")
+	attrsFlag := fs.String("attrs", "", `comma-separated attribute indices; separate sets with ';' to batch (e.g. "0,1;1,3;2")`)
+	allK := fs.Int("all-k", 0, "batch every non-empty marginal of up to this many attributes (alternative to -attrs)")
+	method := fs.String("method", "CME", "reconstruction method: CME, CLN, LP, CLP, CME-dual")
 	timeout := fs.Duration("timeout", 30*time.Second, "remote mode: end-to-end deadline, propagated to the server")
 	retryBudget := fs.Float64("retry-budget", 0, "remote mode: retries allowed per successful request (e.g. 0.1 ≈ 10% retry amplification; 0 disables budgeting)")
 	priority := fs.String("priority", "", `remote mode: request priority ("high" bypasses server brownout)`)
+	batchWorkers := fs.Int("batch-workers", 0, "local mode: solver goroutines a batch fans over (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*synPath == "") == (*serverURL == "") {
 		return fmt.Errorf("query: exactly one of -synopsis or -server is required")
 	}
-	if *attrsFlag == "" {
-		return fmt.Errorf("query: -attrs is required")
+	if (*attrsFlag == "") == (*allK == 0) {
+		return fmt.Errorf("query: exactly one of -attrs or -all-k is required")
 	}
-	var attrs []int
-	for _, part := range strings.Split(*attrsFlag, ",") {
-		a, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return fmt.Errorf("query: bad attribute %q", part)
-		}
-		attrs = append(attrs, a)
+	m, err := parseCoreMethod(*method)
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
 	}
-	sort.Ints(attrs)
 
-	var table *marginal.Table
-	if *serverURL != "" {
-		c := server.NewClientWithPolicy(*serverURL, nil, server.RetryPolicy{RetryBudget: *retryBudget})
-		c.SetPriority(*priority)
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		defer cancel()
-		t, err := c.MarginalContext(ctx, attrs, strings.ToUpper(*method))
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	var sets [][]int
+	if *attrsFlag != "" {
+		sets, err = parseAttrSets(*attrsFlag)
 		if err != nil {
 			return fmt.Errorf("query: %w", err)
 		}
-		table = t
-	} else {
-		f, err := os.Open(*synPath)
-		if err != nil {
-			return err
-		}
-		syn, err := snapshot.Read(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return err
-		}
-		switch strings.ToUpper(*method) {
-		case "CME":
-			syn.SetMethod(core.CME)
-		case "CLN":
-			syn.SetMethod(core.CLN)
-		case "CLP":
-			syn.SetMethod(core.CLP)
-		default:
-			return fmt.Errorf("query: unknown method %q", *method)
-		}
-		table = syn.Query(attrs)
 	}
+
+	if *serverURL != "" {
+		c := server.NewClientWithPolicy(*serverURL, nil, server.RetryPolicy{RetryBudget: *retryBudget})
+		c.SetPriority(*priority)
+		if *allK > 0 {
+			info, err := c.InfoContext(ctx)
+			if err != nil {
+				return fmt.Errorf("query: %w", err)
+			}
+			for _, r := range core.AllKWay(info.D, *allK, m) {
+				sets = append(sets, r.Attrs)
+			}
+		}
+		if len(sets) == 1 {
+			t, err := c.MarginalContext(ctx, sets[0], strings.ToUpper(*method))
+			if err != nil {
+				return fmt.Errorf("query: %w", err)
+			}
+			printMarginal(t)
+			return nil
+		}
+		queries := make([]server.BatchQuery, len(sets))
+		for i, attrs := range sets {
+			queries[i] = server.BatchQuery{Attrs: attrs}
+		}
+		start := time.Now()
+		answers, err := c.MarginalsContext(ctx, queries, strings.ToUpper(*method))
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+		printBatch(sets, func(i int) (*marginal.Table, bool) {
+			return answers[i].Table, answers[i].Degraded
+		}, time.Since(start))
+		return nil
+	}
+
+	f, err := os.Open(*synPath)
+	if err != nil {
+		return err
+	}
+	syn, err := snapshot.Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	syn.SetMethod(m)
+	if *allK > 0 {
+		dg := syn.Design()
+		if dg == nil {
+			return fmt.Errorf("query: -all-k needs a synopsis with a recorded design")
+		}
+		for _, r := range core.AllKWay(dg.D, *allK, m) {
+			sets = append(sets, r.Attrs)
+		}
+	}
+	if len(sets) == 1 {
+		printMarginal(syn.Query(sets[0]))
+		return nil
+	}
+	reqs := make([]core.BatchRequest, len(sets))
+	for i, attrs := range sets {
+		reqs[i] = core.BatchRequest{Attrs: attrs, Method: m}
+	}
+	start := time.Now()
+	results, err := syn.QueryBatch(ctx, reqs, core.BatchOptions{Workers: *batchWorkers})
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	printBatch(sets, func(i int) (*marginal.Table, bool) {
+		return results[i].Table, results[i].Degraded()
+	}, time.Since(start))
+	return nil
+}
+
+// printMarginal writes the full cell listing of one marginal.
+func printMarginal(table *marginal.Table) {
 	fmt.Printf("marginal over attributes %v (total %.1f):\n", table.Attrs, table.Total())
 	for i, v := range table.Cells {
 		assignment := make([]byte, len(table.Attrs))
@@ -418,5 +511,21 @@ func cmdQuery(args []string) error {
 		}
 		fmt.Printf("  %s  %.2f\n", assignment, v)
 	}
-	return nil
+}
+
+// printBatch summarizes a batched answer: one line per marginal plus
+// the wall-clock footer (full cell dumps of hundreds of tables help
+// nobody; re-query a single set to inspect cells).
+func printBatch(sets [][]int, answer func(i int) (*marginal.Table, bool), elapsed time.Duration) {
+	degraded := 0
+	for i := range sets {
+		t, deg := answer(i)
+		mark := ""
+		if deg {
+			mark = "  [degraded]"
+			degraded++
+		}
+		fmt.Printf("  %v  total %.1f%s\n", t.Attrs, t.Total(), mark)
+	}
+	fmt.Printf("%d marginals (%d degraded) in %v\n", len(sets), degraded, elapsed.Round(time.Millisecond))
 }

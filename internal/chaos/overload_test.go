@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -290,6 +291,156 @@ func TestOverloadStorm(t *testing.T) {
 	}
 
 	writeOverloadReport(t, []phaseReport{base, storm, slowBase, slowStorm})
+}
+
+// startBatchLoad launches workers posting small batched-marginal
+// requests against base+"/v1/marginals" until halted, recording every
+// outcome in the same loadRec stream the single-query loops use.
+func startBatchLoad(base string, workers int) *loadStream {
+	ls := &loadStream{stop: make(chan struct{})}
+	for w := 0; w < workers; w++ {
+		ls.wg.Add(1)
+		go func(w int) {
+			defer ls.wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; ; i++ {
+				select {
+				case <-ls.stop:
+					return
+				default:
+				}
+				a := (w + i) % 9
+				b := (a + 1 + i%7) % 9
+				if b == a {
+					b = (a + 1) % 9
+				}
+				body := fmt.Sprintf(`{"queries":[{"attrs":[%d,%d]},{"attrs":[%d]}]}`, a, b, (a+b)%9)
+				start := time.Now()
+				resp, err := client.Post(base+"/v1/marginals", "application/json", strings.NewReader(body))
+				rec := loadRec{d: time.Since(start)}
+				if err == nil {
+					//lint:ignore errdiscard draining a test response body
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					rec.code = resp.StatusCode
+				}
+				ls.mu.Lock()
+				ls.recs = append(ls.recs, rec)
+				ls.mu.Unlock()
+			}
+		}(w)
+	}
+	return ls
+}
+
+// TestBatchOverloadStorm drives the batched marginal route through the
+// full admission stack alongside single-query traffic. The batch route
+// must participate in overload control exactly like the single route:
+// a mixed ~2× storm sheds with fast 429s rather than 500s or queue
+// collapse, neither protocol starves the other, and batches that are
+// answered are answered completely.
+func TestBatchOverloadStorm(t *testing.T) {
+	const delay = 5 * time.Millisecond
+	vs := &varSlow{Querier: durabilitySyn(7)}
+	vs.SetDelay(delay)
+	srv := server.NewWithOptions(vs, server.Options{
+		MaxK:         9,
+		QueryTimeout: 2 * time.Second,
+		Logger:       log.New(io.Discard, "", 0),
+		Admission: &admission.Config{
+			TargetDelay:  10 * time.Millisecond,
+			Interval:     50 * time.Millisecond,
+			MaxQueue:     8,
+			InitialLimit: 8,
+			MinLimit:     2,
+			MaxLimit:     8,
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Probe: an answered batch is complete, in request order, with the
+	// right cell counts — under no load first, so a storm-phase failure
+	// below is attributable to overload handling, not the route itself.
+	resp, err := http.Post(ts.URL+"/v1/marginals", "application/json",
+		strings.NewReader(`{"queries":[{"attrs":[0,1]},{"attrs":[2]},{"attrs":[1,0]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probe struct {
+		Results []struct {
+			Attrs []int     `json:"attrs"`
+			Cells []float64 `json:"cells"`
+		} `json:"results"`
+	}
+	code := resp.StatusCode
+	err = json.NewDecoder(resp.Body).Decode(&probe)
+	resp.Body.Close()
+	if code != http.StatusOK || err != nil {
+		t.Fatalf("probe batch: status %d, decode err %v", code, err)
+	}
+	if len(probe.Results) != 3 || len(probe.Results[0].Cells) != 4 || len(probe.Results[1].Cells) != 2 {
+		t.Fatalf("probe batch shape: %+v", probe.Results)
+	}
+
+	// Batch-only baseline establishes that the route carries goodput.
+	bls := startBatchLoad(ts.URL, 4)
+	time.Sleep(700 * time.Millisecond)
+	base := summarize("batch-baseline", 700*time.Millisecond, bls.halt())
+	t.Logf("batch baseline: %d requests, codes %v, goodput %.0f rps", base.Requests, base.Codes, base.GoodputRPS)
+	if base.GoodputRPS == 0 {
+		t.Fatal("batch baseline produced no successful requests")
+	}
+
+	// Mixed storm: singles and batches compete for the same slots, with
+	// far more streams in flight than the limit plus queue can hold.
+	singles := startLoad(ts.URL, "/v1/marginal", 16, 0)
+	batches := startBatchLoad(ts.URL, 16)
+	time.Sleep(time.Second)
+	srecs := singles.halt()
+	brecs := batches.halt()
+	sPhase := summarize("storm-singles", time.Second, srecs)
+	bPhase := summarize("storm-batches", time.Second, brecs)
+	t.Logf("mixed storm: singles %v, batches %v", sPhase.Codes, bPhase.Codes)
+
+	okKey := fmt.Sprint(http.StatusOK)
+	shedCount := func(codes map[string]int) int {
+		return codes[fmt.Sprint(http.StatusTooManyRequests)] +
+			codes[fmt.Sprint(http.StatusServiceUnavailable)] +
+			codes[fmt.Sprint(http.StatusGatewayTimeout)]
+	}
+	if bPhase.Codes[okKey] == 0 {
+		t.Error("batch route starved during mixed storm — no batch was served")
+	}
+	if sPhase.Codes[okKey] == 0 {
+		t.Error("single route starved during mixed storm — no single query was served")
+	}
+	if shedCount(sPhase.Codes)+shedCount(bPhase.Codes) == 0 {
+		t.Error("an over-capacity mixed storm shed nothing — admission control never engaged on the batch route")
+	}
+	for _, codes := range []map[string]int{sPhase.Codes, bPhase.Codes} {
+		if n := codes[fmt.Sprint(http.StatusInternalServerError)]; n > 0 {
+			t.Errorf("storm produced %d 500s — overload must shed, not fail", n)
+		}
+	}
+
+	// The admission counters must attribute the storm.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats struct {
+		Admission *admission.Stats `json:"admission"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Admission == nil || stats.Admission.Admitted == 0 {
+		t.Fatalf("admission stats missing or empty: %+v", stats.Admission)
+	}
+	// The phase partitions are logged rather than written to the CI
+	// artifact path: TestOverloadStorm owns PRIVIEW_OVERLOAD_REPORT.
 }
 
 // TestRetryAmplificationBounded proves the client-side retry budget

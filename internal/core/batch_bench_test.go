@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"priview/internal/covering"
+	"priview/internal/dataset/synth"
+	"priview/internal/noise"
+)
+
+// benchBatchSynopsis builds the all-3-way benchmark fixture: the MSNBC
+// schema under the paper's 4-attribute covering design, the workload
+// every pair of benchmarks below answers in full.
+func benchBatchSynopsis(b *testing.B) (*Synopsis, []BatchRequest) {
+	b.Helper()
+	data := synth.MSNBC(5000, 301)
+	dg := covering.Groups(9, 4)
+	s := BuildSynopsis(data, Config{Epsilon: 1, Design: dg}, noise.NewStream(302))
+	return s, AllKWay(dg.D, 3, CME)
+}
+
+// BenchmarkAllThreeWaySequential is the baseline the batch path is
+// measured against: the plain one-query-at-a-time loop over every
+// marginal of up to 3 attributes (129 solves on the 9-attribute
+// schema). It lives in the same binary as BenchmarkAllThreeWayBatch so
+// the comparison in BENCH_batch.json is apples to apples.
+func BenchmarkAllThreeWaySequential(b *testing.B) {
+	s, reqs := benchBatchSynopsis(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range reqs {
+			if _, err := s.QueryMethodContext(ctx, r.Attrs, r.Method); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAllThreeWayBatch answers the identical workload through
+// QueryBatch: shared constraint precompute per attribute set and the
+// solve fan-out across the worker pool (GOMAXPROCS workers; on a
+// single-CPU runner the two paths are expected to be near parity, with
+// the batch win scaling with cores).
+func BenchmarkAllThreeWayBatch(b *testing.B) {
+	s, reqs := benchBatchSynopsis(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.QueryBatch(ctx, reqs, BatchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

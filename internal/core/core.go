@@ -381,75 +381,11 @@ func (s *Synopsis) QueryMethodContext(ctx context.Context, attrs []int, method R
 		return nil, err
 	}
 	canonical := marginal.New(attrs).Attrs
-	source := s.views
-	if method == LP {
-		source = s.rawViews
-	}
-	var degraded error // first numerical problem encountered
-	if t := reconstruct.Covered(source, canonical); t != nil {
-		if reconstruct.FiniteTable(t) {
-			if method == LP || s.cfg.SkipPostprocess {
-				// Raw views may carry negatives even in the covered case.
-				clamped := t.Clone()
-				clamped.ClampNegatives()
-				return clamped, nil
-			}
-			return t, nil
-		}
-		// The covering view is poisoned; reconstruct from whatever
-		// healthy views remain instead of answering NaN.
-		degraded = &reconstruct.NumericalError{
-			Solver: "direct", Iter: -1, Quantity: "covering view cell", Value: math.NaN(),
-		}
-	}
-	cons := reconstruct.ConstraintsFromViews(source, canonical)
-	cons, dropped := reconstruct.DropNonFinite(cons)
-	if dropped > 0 && degraded == nil {
-		degraded = &reconstruct.NumericalError{
-			Solver: "constraints", Iter: -1,
-			Quantity: fmt.Sprintf("%d non-finite constraint table(s)", dropped), Value: math.NaN(),
-		}
-	}
-	total := s.total
-	if math.IsNaN(total) || math.IsInf(total, 0) {
-		if degraded == nil {
-			degraded = &reconstruct.NumericalError{Solver: "synopsis", Iter: -1, Quantity: "total", Value: total}
-		}
-		// Re-estimate from the surviving healthy constraints.
-		total = meanTotal(cons)
-		if math.IsNaN(total) || math.IsInf(total, 0) || total < 0 {
-			total = 0
-		}
-	}
-	var t *marginal.Table
-	for _, m := range fallbackChain(method) {
-		var err error
-		t, err = s.solveOnce(ctx, m, canonical, total, cons)
-		if err == nil {
-			break
-		}
-		if errors.Is(err, reconstruct.ErrCanceled) || errors.Is(err, reconstruct.ErrDeadline) {
-			return nil, err
-		}
-		// Numerical trouble (or an LP solver failure — the LP is always
-		// feasible, so those are numerical too): remember the first
-		// cause and try the next estimator.
-		if degraded == nil {
-			degraded = err
-		}
-		t = nil
-	}
-	if t == nil {
-		// Every estimator failed; a uniform table is the only answer
-		// that is always finite and total-preserving.
-		t = marginal.Uniform(canonical, math.Max(total, 0))
-	}
-	if degraded != nil && !errors.Is(degraded, reconstruct.ErrNumerical) {
-		degraded = &reconstruct.NumericalError{
-			Solver: method.String(), Iter: -1, Quantity: "solver failure", Value: math.NaN(), Err: degraded,
-		}
-	}
-	return t, degraded
+	// A one-shot constraint group: QueryBatch runs the identical code
+	// with the group shared across requests, which is what keeps single
+	// and batched answers bit-for-bit equal.
+	sh := &solveShared{syn: s, attrs: canonical, raw: method == LP}
+	return sh.solve(ctx, method, 0)
 }
 
 // fallbackChain orders the estimators tried for a query: the requested
@@ -466,22 +402,6 @@ func fallbackChain(method ReconstructMethod) []ReconstructMethod {
 		return []ReconstructMethod{CLN, CME, CMEDual}
 	case LP, CLP:
 		return []ReconstructMethod{method, CME, CMEDual, CLN}
-	default:
-		panic(fmt.Sprintf("core: unknown reconstruction method %d", int(method)))
-	}
-}
-
-// solveOnce runs a single estimator without fallback.
-func (s *Synopsis) solveOnce(ctx context.Context, method ReconstructMethod, attrs []int, total float64, cons []*marginal.Table) (*marginal.Table, error) {
-	switch method {
-	case CME:
-		return reconstruct.MaxEntContext(ctx, attrs, total, cons, s.cfg.Reconstruct)
-	case CMEDual:
-		return reconstruct.MaxEntDualContext(ctx, attrs, total, cons, s.cfg.Reconstruct)
-	case CLN:
-		return reconstruct.LeastSquaresContext(ctx, attrs, total, cons, s.cfg.Reconstruct)
-	case LP, CLP:
-		return reconstruct.LinProgContext(ctx, attrs, cons)
 	default:
 		panic(fmt.Sprintf("core: unknown reconstruction method %d", int(method)))
 	}

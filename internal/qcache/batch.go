@@ -1,0 +1,179 @@
+package qcache
+
+import (
+	"context"
+	"fmt"
+
+	"priview/internal/marginal"
+	"priview/internal/reconstruct"
+)
+
+// Result pairs one answer with its per-key error for batch lookups. The
+// error contract matches Do: a nil Err with a table is a clean answer
+// (cacheable), a non-nil Err with a table is a degraded answer (served,
+// never cached), and a nil table reports a failure for that key.
+type Result struct {
+	Table *marginal.Table
+	Err   error
+}
+
+// DoBatch is Do for many keys at once. Each key resolves independently
+// — from the store, by joining an in-flight solve started by any other
+// caller (batch or single), or by becoming part of this call's leader
+// set — and compute is invoked once per round with exactly the keys
+// this caller leads, so a batch landing on a cold cache turns into one
+// batched solve instead of len(keys) sequential ones. Duplicate keys
+// in one call resolve to one solve and per-caller clones.
+//
+// The singleflight protocol is shared with Do: a flight started here
+// coalesces concurrent single queries and vice versa, and when a
+// joined flight's leader is canceled, this caller retries the key on
+// the next round (becoming its leader) as long as its own ctx is live.
+//
+// compute receives the missing keys and must return one Result per key
+// in order. The clean-only policy applies per member: a degraded
+// Result (Err matching reconstruct.ErrNumerical) is passed through to
+// waiters but never stored, so one poisoned member cannot pin a bad
+// table while the rest of the batch caches normally.
+//
+// When ctx ends — or compute fails as a whole, e.g. a canceled batch
+// solve — DoBatch returns the error and no results; its in-flight
+// leads are failed so waiters retry or fail on their own contexts.
+func (c *Cache) DoBatch(ctx context.Context, keys []Key, compute func(ctx context.Context, miss []Key) ([]Result, error)) ([]Result, error) {
+	// Distinct keys still unresolved; duplicates fan back out at the
+	// end.
+	pending := make([]Key, 0, len(keys))
+	seen := make(map[Key]bool, len(keys))
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			pending = append(pending, k)
+		}
+	}
+	resolved := make(map[Key]Result, len(pending))
+	for len(pending) > 0 {
+		if err := reconstruct.ContextErr(ctx); err != nil {
+			return nil, err
+		}
+		var hitKeys []Key
+		var hitTables []*marginal.Table
+		var leads, joins []Key
+		var leadFl, joinFl []*flight
+		c.mu.Lock()
+		for _, k := range pending {
+			if el, ok := c.items[k]; ok {
+				c.ll.MoveToFront(el)
+				c.hits++
+				hitKeys = append(hitKeys, k)
+				hitTables = append(hitTables, el.Value.(*entry).table)
+				continue
+			}
+			if f, ok := c.flights[k]; ok {
+				c.coalesced++
+				joins = append(joins, k)
+				joinFl = append(joinFl, f)
+				continue
+			}
+			f := &flight{done: make(chan struct{})}
+			c.flights[k] = f
+			c.misses++
+			leads = append(leads, k)
+			leadFl = append(leadFl, f)
+		}
+		c.mu.Unlock()
+		// Safe to clone outside the lock: stored tables are never
+		// mutated, and eviction only drops the reference.
+		for i, k := range hitKeys {
+			resolved[k] = Result{Table: hitTables[i].Clone()}
+		}
+		if len(leads) > 0 {
+			results, err := c.leadBatch(ctx, leads, leadFl, compute)
+			if err != nil {
+				return nil, err
+			}
+			for i, k := range leads {
+				resolved[k] = results[i]
+			}
+		}
+		var retry []Key
+		for i, k := range joins {
+			f := joinFl[i]
+			select {
+			case <-ctx.Done():
+				return nil, reconstruct.ContextErr(ctx)
+			case <-f.done:
+			}
+			if canceledErr(f.err) {
+				// The leader gave up before finishing; our context is
+				// live, so take the key over next round.
+				retry = append(retry, k)
+				continue
+			}
+			if f.table == nil {
+				resolved[k] = Result{Err: f.err}
+			} else {
+				resolved[k] = Result{Table: f.table.Clone(), Err: f.err}
+			}
+		}
+		pending = retry
+	}
+	out := make([]Result, len(keys))
+	used := make(map[Key]bool, len(resolved))
+	for i, k := range keys {
+		r := resolved[k]
+		if used[k] && r.Table != nil {
+			r = Result{Table: r.Table.Clone(), Err: r.Err}
+		}
+		used[k] = true
+		out[i] = r
+	}
+	return out, nil
+}
+
+// leadBatch runs compute for the keys this caller leads and settles
+// their flights: clean members are stored, degraded members passed
+// through uncached, and a whole-compute failure (or panic) fails every
+// flight so waiters never hang.
+func (c *Cache) leadBatch(ctx context.Context, leads []Key, fl []*flight, compute func(ctx context.Context, miss []Key) ([]Result, error)) (out []Result, err error) {
+	completed := false
+	defer func() {
+		if !completed {
+			// compute panicked. Fail the flights so waiters don't hang,
+			// then let the panic propagate to this caller's recovery.
+			for i, f := range fl {
+				f.err = fmt.Errorf("qcache: leader panicked during batch compute")
+				c.finish(leads[i], f, nil)
+			}
+		}
+	}()
+	results, cerr := compute(ctx, leads)
+	if cerr == nil && len(results) != len(leads) {
+		cerr = fmt.Errorf("qcache: batch compute returned %d results for %d keys", len(results), len(leads))
+	}
+	completed = true
+	if cerr != nil {
+		for i, f := range fl {
+			f.err = cerr
+			c.finish(leads[i], f, nil)
+		}
+		return nil, cerr
+	}
+	out = make([]Result, len(leads))
+	for i, f := range fl {
+		r := results[i]
+		var shared *marginal.Table
+		if r.Table != nil {
+			// One immutable copy serves both the cache and the waiters;
+			// this caller keeps the original.
+			shared = r.Table.Clone()
+		}
+		f.table, f.err = shared, r.Err
+		var store *marginal.Table
+		if r.Err == nil && shared != nil {
+			store = shared
+		}
+		c.finish(leads[i], f, store)
+		out[i] = r
+	}
+	return out, nil
+}

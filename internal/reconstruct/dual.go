@@ -28,34 +28,47 @@ func MaxEntDual(attrs []int, total float64, cons []*marginal.Table, opt Options)
 
 // MaxEntDualContext is MaxEntDual with cooperative cancellation: every
 // few dual-ascent steps it polls ctx and returns ErrCanceled or
-// ErrDeadline instead of running out its iteration budget.
+// ErrDeadline instead of running out its iteration budget. It is the
+// one-shot form of Prepared.MaxEntDual.
 func MaxEntDualContext(ctx context.Context, attrs []int, total float64, cons []*marginal.Table, opt Options) (*marginal.Table, error) {
-	if err := checkInputs("maxent-dual", total, cons); err != nil {
+	return Prepare(attrs, total, cons).MaxEntDual(ctx, opt)
+}
+
+// MaxEntDual is the prepared form of MaxEntDualContext. Unlike MaxEnt
+// and LeastSquares it has no parallel sweep: its partition-function sum
+// is a single order-sensitive reduction over the full table, and the
+// solver exists as an ablation cross-check rather than a serving path —
+// batch callers still get solve-level parallelism across requests. The
+// multipliers live in per-call buffers, so concurrent solves off one
+// Prepared stay independent.
+func (p *Prepared) MaxEntDual(ctx context.Context, opt Options) (*marginal.Table, error) {
+	total := p.total
+	if err := checkInputs("maxent-dual", total, p.cons); err != nil {
 		return nil, err
 	}
-	t := marginal.New(attrs)
+	t := marginal.New(p.attrs)
 	if total <= 0 {
 		return t, nil
 	}
-	cons = sanitize(MaximalConstraints(cons), total)
-	if len(cons) == 0 {
+	san := p.sanitized()
+	if len(san) == 0 {
 		t.Fill(total / float64(t.Size()))
 		return t, nil
 	}
-	// Precomputed cell → restricted-cell mapping per constraint (see
-	// marginal.RestrictIndices): both the logit assembly and the gradient
-	// projection become single array loads per cell.
+	// The shared prepCons precompute (see marginal.RestrictIndices)
+	// makes both the logit assembly and the gradient projection single
+	// array loads per cell.
 	type prepared struct {
 		target *marginal.Table
 		ridx   []int32
 		lambda []float64
 	}
-	prep := make([]prepared, len(cons))
-	for i, c := range cons {
+	prep := make([]prepared, len(san))
+	for i := range san {
 		prep[i] = prepared{
-			target: c,
-			ridx:   t.RestrictIndices(c.Attrs),
-			lambda: make([]float64, c.Size()),
+			target: san[i].target,
+			ridx:   san[i].ridx,
+			lambda: make([]float64, san[i].target.Size()),
 		}
 	}
 	n := t.Size()

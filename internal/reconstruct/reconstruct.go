@@ -10,12 +10,10 @@ package reconstruct
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 
 	"priview/internal/attrset"
-	"priview/internal/lp"
 	"priview/internal/marginal"
 )
 
@@ -27,6 +25,12 @@ type Options struct {
 	// Tol is the convergence threshold on the largest constraint
 	// violation relative to the total count (default 1e-9).
 	Tol float64
+	// SweepWorkers bounds the goroutines parallelizing the per-view
+	// projection/update sweep inside one solve of a large table (≥
+	// sweepThreshold cells); 0 or 1 keeps the sweep sequential. The
+	// sweep's gather-ordered reduction makes results bit-for-bit
+	// identical at every setting — see sweep.go.
+	SweepWorkers int
 }
 
 func (o Options) maxIter() int {
@@ -41,6 +45,13 @@ func (o Options) tol() float64 {
 		return 1e-9
 	}
 	return o.Tol
+}
+
+func (o Options) sweepWorkers() int {
+	if o.SweepWorkers <= 0 {
+		return 1
+	}
+	return o.SweepWorkers
 }
 
 // ConstraintsFromViews projects every view onto its intersection with
@@ -163,78 +174,11 @@ func MaxEnt(attrs []int, total float64, cons []*marginal.Table, opt Options) *ma
 // MaxEntContext is MaxEnt with cooperative cancellation: every few IPF
 // cycles it polls ctx and, when the caller has canceled or the deadline
 // has passed, abandons the fit and returns ErrCanceled or ErrDeadline
-// instead of running to MaxIter.
+// instead of running to MaxIter. It is the one-shot form of
+// Prepared.MaxEnt; batch callers use Prepare to share the constraint
+// precompute across solves.
 func MaxEntContext(ctx context.Context, attrs []int, total float64, cons []*marginal.Table, opt Options) (*marginal.Table, error) {
-	if err := checkInputs("maxent", total, cons); err != nil {
-		return nil, err
-	}
-	t := marginal.New(attrs)
-	if total <= 0 {
-		return t, nil
-	}
-	t.Fill(total / float64(t.Size()))
-	cons = sanitize(MaximalConstraints(cons), total)
-	if len(cons) == 0 {
-		return t, nil
-	}
-	// Precompute the cell → restricted-cell mapping once per constraint;
-	// the IPF loop then does two array loads per cell instead of a
-	// bit-gather.
-	type prepared struct {
-		target *marginal.Table
-		ridx   []int32
-	}
-	prep := make([]prepared, len(cons))
-	for i, c := range cons {
-		prep[i] = prepared{target: c, ridx: t.RestrictIndices(c.Attrs)}
-	}
-	tol := opt.tol() * total
-	proj := make([][]float64, len(cons))
-	for i := range proj {
-		proj[i] = make([]float64, cons[i].Size())
-	}
-	guard := newDivergenceGuard("maxent")
-	for iter := 0; iter < opt.maxIter(); iter++ {
-		if iter%ctxCheckEvery == 0 {
-			if err := ContextErr(ctx); err != nil {
-				return nil, err
-			}
-		}
-		worst := 0.0
-		//lint:hot
-		for i, p := range prep {
-			// Current projection.
-			pr := proj[i]
-			t.ProjectInto(pr, p.ridx)
-			// Multiplicative update toward the target.
-			for ci := range t.Cells {
-				b := p.ridx[ci]
-				cur := pr[b]
-				want := p.target.Cells[b]
-				if d := math.Abs(cur - want); d > worst {
-					worst = d
-				}
-				switch {
-				case cur > 0:
-					t.Cells[ci] *= want / cur
-				case want > 0:
-					// Mass must appear in a group that currently has
-					// none: seed it uniformly so the next cycle can
-					// shape it.
-					t.Cells[ci] = want / float64(int(1)<<uint(len(attrs)-len(p.target.Attrs)))
-				default:
-					t.Cells[ci] = 0
-				}
-			}
-		}
-		if err := guard.check(iter, worst); err != nil {
-			return nil, err
-		}
-		if worst < tol {
-			break
-		}
-	}
-	return checkResult("maxent", opt.maxIter(), t)
+	return Prepare(attrs, total, cons).MaxEnt(ctx, opt)
 }
 
 // LeastSquares reconstructs the minimum-L2-norm non-negative marginal
@@ -253,99 +197,11 @@ func LeastSquares(attrs []int, total float64, cons []*marginal.Table, opt Option
 
 // LeastSquaresContext is LeastSquares with cooperative cancellation:
 // every few Dykstra cycles it polls ctx and returns ErrCanceled or
-// ErrDeadline instead of running to MaxIter.
+// ErrDeadline instead of running to MaxIter. It is the one-shot form of
+// Prepared.LeastSquares; batch callers use Prepare to share the
+// constraint precompute across solves.
 func LeastSquaresContext(ctx context.Context, attrs []int, total float64, cons []*marginal.Table, opt Options) (*marginal.Table, error) {
-	if err := checkInputs("least-squares", total, cons); err != nil {
-		return nil, err
-	}
-	t := marginal.New(attrs)
-	cons = sanitize(MaximalConstraints(cons), total)
-	if len(cons) == 0 {
-		t.Fill(total / float64(t.Size()))
-		return t, nil
-	}
-	type prepared struct {
-		target    *marginal.Table
-		ridx      []int32
-		groupSize float64
-	}
-	prep := make([]prepared, len(cons))
-	for i, c := range cons {
-		prep[i] = prepared{
-			target:    c,
-			ridx:      t.RestrictIndices(c.Attrs),
-			groupSize: float64(int(1) << uint(t.Dim()-c.Dim())),
-		}
-	}
-	// Dykstra increments: one per constraint set plus one for the
-	// orthant.
-	nSets := len(prep) + 1
-	incr := make([][]float64, nSets)
-	for i := range incr {
-		incr[i] = make([]float64, t.Size())
-	}
-	y := make([]float64, t.Size())
-	proj := make([]float64, 0)
-	tol := opt.tol() * math.Max(total, 1)
-	guard := newDivergenceGuard("least-squares")
-	for iter := 0; iter < opt.maxIter(); iter++ {
-		if iter%ctxCheckEvery == 0 {
-			if err := ContextErr(ctx); err != nil {
-				return nil, err
-			}
-		}
-		moved := 0.0
-		for s := 0; s < nSets; s++ {
-			// y = x + p_s
-			for ci := range y {
-				y[ci] = t.Cells[ci] + incr[s][ci]
-			}
-			if s < len(prep) {
-				p := prep[s]
-				if cap(proj) < p.target.Size() {
-					proj = make([]float64, p.target.Size())
-				}
-				proj = proj[:p.target.Size()]
-				for j := range proj {
-					proj[j] = 0
-				}
-				for ci, v := range y {
-					proj[p.ridx[ci]] += v
-				}
-				for ci := range y {
-					b := p.ridx[ci]
-					corr := (p.target.Cells[b] - proj[b]) / p.groupSize
-					nv := y[ci] + corr
-					if d := math.Abs(nv - t.Cells[ci]); d > moved {
-						moved = d
-					}
-					incr[s][ci] = y[ci] - nv
-					t.Cells[ci] = nv
-				}
-			} else {
-				// Orthant projection.
-				for ci := range y {
-					nv := y[ci]
-					if nv < 0 {
-						nv = 0
-					}
-					if d := math.Abs(nv - t.Cells[ci]); d > moved {
-						moved = d
-					}
-					incr[s][ci] = y[ci] - nv
-					t.Cells[ci] = nv
-				}
-			}
-		}
-		if err := guard.check(iter, moved); err != nil {
-			return nil, err
-		}
-		if moved < tol {
-			break
-		}
-	}
-	t.ClampNegatives()
-	return checkResult("least-squares", opt.maxIter(), t)
+	return Prepare(attrs, total, cons).LeastSquares(ctx, opt)
 }
 
 // LinProg reconstructs the marginal by the paper's linear program:
@@ -359,59 +215,10 @@ func LinProg(attrs []int, cons []*marginal.Table) (*marginal.Table, error) {
 
 // LinProgContext is LinProg with cooperative cancellation threaded into
 // the simplex iterations; it returns ErrCanceled or ErrDeadline when the
-// caller gives up, and other errors for genuine solver failures.
+// caller gives up, and other errors for genuine solver failures. It is
+// the one-shot form of Prepared.LinProg.
 func LinProgContext(ctx context.Context, attrs []int, cons []*marginal.Table) (*marginal.Table, error) {
-	if err := checkInputs("linprog", 0, cons); err != nil {
-		return nil, err
-	}
-	t := marginal.New(attrs)
-	n := t.Size()
-	// Dedupe exactly identical constraints (consistent views produce
-	// many); keeps the simplex tableau small without changing the
-	// optimum.
-	cons = dedupeIdentical(cons)
-	prob := &lp.Problem{
-		NumVars:   n + 1, // cells then τ
-		Objective: make([]float64, n+1),
-	}
-	prob.Objective[n] = 1
-	for _, c := range cons {
-		ridx := t.RestrictIndices(c.Attrs)
-		// Group cells of A by their restricted index.
-		groups := make([][]int, c.Size())
-		for ci := 0; ci < n; ci++ {
-			groups[ridx[ci]] = append(groups[ridx[ci]], ci)
-		}
-		for b, cells := range groups {
-			// sum(cells) - τ ≤ target  and  sum(cells) + τ ≥ target.
-			le := make([]float64, n+1)
-			ge := make([]float64, n+1)
-			for _, ci := range cells {
-				le[ci] = 1
-				ge[ci] = 1
-			}
-			le[n] = -1
-			ge[n] = 1
-			prob.Constraints = append(prob.Constraints,
-				lp.Constraint{Coef: le, Rel: lp.LE, B: c.Cells[b]},
-				lp.Constraint{Coef: ge, Rel: lp.GE, B: c.Cells[b]},
-			)
-		}
-	}
-	sol, err := lp.SolveContext(ctx, prob)
-	if err != nil {
-		// Re-type cancellation so callers see one error surface for all
-		// three estimators; other errors are numerical failures.
-		if cerr := ContextErr(ctx); cerr != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-			return nil, cerr
-		}
-		if errors.Is(err, lp.ErrNumerical) {
-			return nil, &NumericalError{Solver: "linprog", Iter: 0, Quantity: "simplex tableau", Value: math.NaN(), Err: err}
-		}
-		return nil, err
-	}
-	copy(t.Cells, sol.X[:n])
-	return checkResult("linprog", 0, t)
+	return Prepare(attrs, 0, cons).LinProg(ctx)
 }
 
 // dedupeIdentical drops constraints that duplicate an earlier one to

@@ -1,0 +1,216 @@
+package reconstruct
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"priview/internal/marginal"
+)
+
+// The parallel sweep fans the per-constraint projection/update pass of
+// the iterative solvers (IPF, Dykstra) across goroutines while staying
+// bit-for-bit identical to the sequential loops at any worker count:
+//
+//   - Per-cell update passes are elementwise — cell ci reads only the
+//     finished projection and its own value — so any partition of the
+//     cell range computes exactly the same floats.
+//   - The projection itself is a floating-point reduction, which is NOT
+//     freely reorderable. Instead of chunking the scatter loop (whose
+//     partial-sum merge would change addition order), each worker
+//     gathers whole target cells: pr[b] sums exactly the full-table
+//     cells projecting onto b, in ascending cell index order — the
+//     same additions in the same order the sequential scatter performs
+//     for that b, because contributions to distinct target cells never
+//     interact.
+//   - Residual reductions (worst violation, largest move) use max(),
+//     which is exact under any association.
+//
+// Parallelism in the projection phase is therefore bounded by the
+// target (constraint) size; the elementwise passes over all 2^k cells
+// parallelize fully. The dual-ascent solver keeps its sequential form:
+// its partition-function sum is a single order-sensitive reduction over
+// the full table, and it is the ablation cross-check, not a serving
+// path.
+
+// sweepThreshold is the full-table size below which the sweep stays
+// sequential: goroutine fan-out costs more than it saves on small
+// tables, and the serving default (MaxK = 12 → 4096 cells) keeps the
+// exact code path it always had. Results are identical either way —
+// the threshold is a scheduling choice, not a math switch.
+const sweepThreshold = 1 << 14
+
+// sweeper fans solver passes over disjoint index ranges.
+type sweeper struct {
+	workers int
+}
+
+// newSweeper returns a sweeper when the table size and requested worker
+// count justify fan-out, nil for the sequential path.
+func newSweeper(n, workers int) *sweeper {
+	if workers <= 1 || n < sweepThreshold {
+		return nil
+	}
+	return &sweeper{workers: workers}
+}
+
+// parRange invokes fn over [0, n) split into one near-equal range per
+// worker and waits for completion. fn must not touch indices outside
+// its range.
+func (s *sweeper) parRange(n int, fn func(lo, hi int)) {
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(n*i/w, n*(i+1)/w)
+	}
+	fn(0, n/w)
+	wg.Wait()
+}
+
+// parMax is parRange for passes that also reduce a per-range maximum.
+func (s *sweeper) parMax(n int, fn func(lo, hi int) float64) float64 {
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return fn(0, n)
+	}
+	res := make([]float64, w)
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			res[i] = fn(lo, hi)
+		}(i, n*i/w, n*(i+1)/w)
+	}
+	res[0] = fn(0, n/w)
+	wg.Wait()
+	worst := 0.0
+	for _, v := range res {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// gatherInto recomputes pr[b] for b in [lo, hi) by summing src over the
+// cells projecting onto b in ascending index order — bit-identical to
+// the sequential scatter loop's contribution order for each b.
+func gatherInto(pr, src []float64, pc *prepCons, lo, hi int) {
+	free := pc.free
+	for b := lo; b < hi; b++ {
+		sum := 0.0
+		base := int(pc.base[b])
+		//lint:ignore ctxflow the submask walk s=(s-free)&free visits each of the 2^popcount(free) subsets exactly once before returning to 0 — a bounded arithmetic cycle; cancellation is polled in the solver's outer iteration loop
+		for s := 0; ; {
+			sum += src[base|s]
+			s = (s - free) & free
+			if s == 0 {
+				break
+			}
+		}
+		pr[b] = sum
+	}
+}
+
+// maxEntUpdate runs one IPF constraint pass — projection, then the
+// multiplicative per-cell update — in parallel, returning the worst
+// absolute constraint violation.
+func (s *sweeper) maxEntUpdate(t *marginal.Table, pc *prepCons, pr []float64) float64 {
+	s.parRange(len(pr), func(lo, hi int) { gatherInto(pr, t.Cells, pc, lo, hi) })
+	return s.parMax(len(t.Cells), func(lo, hi int) float64 {
+		worst := 0.0
+		for ci := lo; ci < hi; ci++ {
+			b := pc.ridx[ci]
+			cur := pr[b]
+			want := pc.target.Cells[b]
+			if d := math.Abs(cur - want); d > worst {
+				worst = d
+			}
+			switch {
+			case cur > 0:
+				t.Cells[ci] *= want / cur
+			case want > 0:
+				t.Cells[ci] = want / pc.groupSize
+			default:
+				t.Cells[ci] = 0
+			}
+		}
+		return worst
+	})
+}
+
+// dykstraConstraint runs one Dykstra constraint-set pass in parallel:
+// y = x + incr, projection of y, then the per-cell correction. It
+// returns the largest cell move.
+func (s *sweeper) dykstraConstraint(t *marginal.Table, pc *prepCons, y, incr, pr []float64) float64 {
+	s.parRange(len(y), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			y[ci] = t.Cells[ci] + incr[ci]
+		}
+	})
+	s.parRange(len(pr), func(lo, hi int) { gatherInto(pr, y, pc, lo, hi) })
+	return s.parMax(len(y), func(lo, hi int) float64 {
+		moved := 0.0
+		for ci := lo; ci < hi; ci++ {
+			b := pc.ridx[ci]
+			corr := (pc.target.Cells[b] - pr[b]) / pc.groupSize
+			nv := y[ci] + corr
+			if d := math.Abs(nv - t.Cells[ci]); d > moved {
+				moved = d
+			}
+			incr[ci] = y[ci] - nv
+			t.Cells[ci] = nv
+		}
+		return moved
+	})
+}
+
+// dykstraOrthant runs the non-negative-orthant pass. The y assembly is
+// fused into the clamp loop — both are elementwise, so the fusion is
+// float-exact.
+func (s *sweeper) dykstraOrthant(t *marginal.Table, y, incr []float64) float64 {
+	return s.parMax(len(y), func(lo, hi int) float64 {
+		moved := 0.0
+		for ci := lo; ci < hi; ci++ {
+			yv := t.Cells[ci] + incr[ci]
+			nv := yv
+			if nv < 0 {
+				nv = 0
+			}
+			if d := math.Abs(nv - t.Cells[ci]); d > moved {
+				moved = d
+			}
+			incr[ci] = yv - nv
+			t.Cells[ci] = nv
+		}
+		return moved
+	})
+}
+
+// deposit scatters the bits of b into the set bit positions of pm
+// (lowest bit of b into the lowest set position) — the inverse of the
+// PEXT mapping that RestrictIndices tabulates.
+func deposit(b int, pm uint64) int {
+	out := 0
+	j := 0
+	for p := pm; p != 0; p &= p - 1 {
+		out |= ((b >> uint(j)) & 1) << uint(bits.TrailingZeros64(p))
+		j++
+	}
+	return out
+}

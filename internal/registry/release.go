@@ -137,6 +137,28 @@ func (l *lease) QueryCached(attrs []int, method core.ReconstructMethod) (*margin
 	return nil, false
 }
 
+// QueryBatch forwards the batched query surface to the pinned querier
+// (explicitly, for the same reason as QueryCached), falling back to the
+// sequential loop for queriers that cannot batch. The whole batch runs
+// under this lease's one bulkhead permit — a batch is one admitted
+// request, its internal parallelism bounded by the server's
+// BatchWorkers, not by the tenant's permit count.
+func (l *lease) QueryBatch(ctx context.Context, reqs []core.BatchRequest, opt core.BatchOptions) ([]core.BatchResult, error) {
+	if bq, ok := l.Querier.(server.BatchQuerier); ok {
+		return bq.QueryBatch(ctx, reqs, opt)
+	}
+	return server.QueryBatchSequential(ctx, l.Querier, reqs)
+}
+
+// DefaultMethod forwards the configured default estimator; CME when the
+// pinned querier exposes none.
+func (l *lease) DefaultMethod() core.ReconstructMethod {
+	if dm, ok := l.Querier.(server.DefaultMethoder); ok {
+		return dm.DefaultMethod()
+	}
+	return core.CME
+}
+
 // acquire runs the tenant's admission ladder — rate limit, then
 // bulkhead, then resolution — and hands back a lease pinned to the
 // querier current at acquire time. The bucket is consulted first so a

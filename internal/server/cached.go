@@ -3,9 +3,6 @@ package server
 import (
 	"context"
 	"errors"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"priview/internal/core"
 	"priview/internal/marginal"
@@ -68,6 +65,55 @@ func (c *CachedQuerier) QueryMethodContext(ctx context.Context, attrs []int, met
 	})
 }
 
+// QueryBatch implements BatchQuerier over the cache: each member
+// resolves from the store, by joining an in-flight solve (batch or
+// single — the singleflight protocol is shared), or as part of one
+// batched solve of this call's misses against the inner Querier.
+// Degraded members are served but never cached, clean members cache
+// normally. A member that cannot be keyed (an attribute ≥ 64 or a
+// duplicate) makes the whole batch bypass the cache, preserving the
+// inner QueryBatch's index-accurate validation errors.
+func (c *CachedQuerier) QueryBatch(ctx context.Context, reqs []core.BatchRequest, opt core.BatchOptions) ([]core.BatchResult, error) {
+	keys := make([]qcache.Key, len(reqs))
+	byKey := make(map[qcache.Key]core.BatchRequest, len(reqs))
+	for i, r := range reqs {
+		k, ok := qcache.KeyFor(r.Attrs, int(r.Method))
+		if !ok {
+			return queryBatch(ctx, c.Querier, reqs, opt)
+		}
+		keys[i] = k
+		byKey[k] = r
+	}
+	rs, err := c.cache.DoBatch(ctx, keys, func(ctx context.Context, miss []qcache.Key) ([]qcache.Result, error) {
+		sub := make([]core.BatchRequest, len(miss))
+		for i, k := range miss {
+			sub[i] = byKey[k]
+		}
+		res, err := queryBatch(ctx, c.Querier, sub, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]qcache.Result, len(res))
+		for i, r := range res {
+			out[i] = qcache.Result{Table: r.Table, Err: r.Err}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.BatchResult, len(rs))
+	for i, r := range rs {
+		if r.Table == nil {
+			// A joined flight whose leader failed outright; honor the
+			// no-partial-results contract and fail the batch with it.
+			return nil, r.Err
+		}
+		out[i] = core.BatchResult{Table: r.Table, Err: r.Err}
+	}
+	return out, nil
+}
+
 // QueryCached implements CacheOnlyQuerier: a pure cache peek that never
 // solves and never joins an in-flight solve.
 func (c *CachedQuerier) QueryCached(attrs []int, method core.ReconstructMethod) (*marginal.Table, bool) {
@@ -83,16 +129,36 @@ func (c *CachedQuerier) CacheStats() (qcache.Stats, bool) {
 	return c.cache.Stats(), true
 }
 
-// Warm precomputes every marginal of 1..k attributes with the default
-// estimator (CME), filling the cache so the first real queries hit.
-// workers ≤ 0 selects GOMAXPROCS. It returns how many marginals were
-// cached cleanly and how many were skipped: a degraded key
-// (reconstruct.ErrNumerical — one poisoned view) is computed, counted
-// in skipped, and the pass keeps going, so a single bad view cannot
-// leave the rest of the cache cold. Only the context ending stops the
-// pass early (the context error is returned alongside the partial
-// counts). A querier without a design has no known dimension and warms
-// nothing.
+// DefaultMethod implements DefaultMethoder by delegating to the inner
+// Querier; CME when it exposes no default. The embedded interface would
+// hide the inner implementation from type assertions on the wrapper, so
+// the forward is explicit.
+func (c *CachedQuerier) DefaultMethod() core.ReconstructMethod {
+	return defaultMethod(c.Querier)
+}
+
+// warmChunk bounds how many marginals one Warm batch carries, so a
+// canceled pass reports the progress of completed chunks instead of
+// zero.
+const warmChunk = 256
+
+// Warm precomputes every marginal of 1..k attributes with the
+// synopsis's configured default estimator (the method the unadorned
+// query path uses — warming CME keys for a CLN-default release would
+// fill the cache with entries no default query ever hits), filling the
+// cache so the first real queries hit. workers ≤ 0 selects GOMAXPROCS.
+// It returns how many marginals were cached cleanly and how many were
+// skipped: a degraded key (reconstruct.ErrNumerical — one poisoned
+// view) is computed, counted in skipped, and the pass keeps going, so a
+// single bad view cannot leave the rest of the cache cold. Only the
+// context ending stops the pass early (the context error is returned
+// alongside the partial counts). A querier without a design has no
+// known dimension and warms nothing.
+//
+// The pass runs as QueryBatch chunks: each chunk dedupes against the
+// cache and concurrent traffic via the shared singleflight, and the
+// solves inside a chunk share constraint precompute and the worker
+// pool.
 func (c *CachedQuerier) Warm(ctx context.Context, k, workers int) (warmed, skipped int, err error) {
 	dg := c.Design()
 	if dg == nil || k <= 0 {
@@ -102,60 +168,31 @@ func (c *CachedQuerier) Warm(ctx context.Context, k, workers int) (warmed, skipp
 	if k > d {
 		k = d
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	work := make(chan []int)
-	var nWarmed, nSkipped atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for attrs := range work {
-				switch _, err := c.QueryMethodContext(ctx, attrs, core.CME); {
-				case err == nil:
-					nWarmed.Add(1)
-				case errors.Is(err, reconstruct.ErrCanceled) || errors.Is(err, reconstruct.ErrDeadline) ||
-					errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-					// The pass is being stopped; the enumerator notices
-					// ctx too and closes the channel.
-				default:
-					// Degraded (ErrNumerical) or otherwise unanswerable
-					// key: skip it and keep warming the rest.
-					nSkipped.Add(1)
-				}
+	reqs := core.AllKWay(d, k, defaultMethod(c.Querier))
+	for lo := 0; lo < len(reqs); lo += warmChunk {
+		hi := lo + warmChunk
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		res, berr := c.QueryBatch(ctx, reqs[lo:hi], core.BatchOptions{Workers: workers})
+		if berr != nil {
+			if errors.Is(berr, reconstruct.ErrCanceled) || errors.Is(berr, reconstruct.ErrDeadline) ||
+				errors.Is(berr, context.Canceled) || errors.Is(berr, context.DeadlineExceeded) {
+				// The pass is being stopped; report the progress so far.
+				return warmed, skipped, reconstruct.ContextErr(ctx)
 			}
-		}()
-	}
-	// Enumerate subsets of {0..d-1} with 1..k members in lexicographic
-	// order; the channel paces enumeration to the workers.
-	var cur []int
-	var gen func(start int) bool
-	gen = func(start int) bool {
-		if len(cur) > 0 {
-			attrs := append([]int(nil), cur...)
-			select {
-			case work <- attrs:
-			case <-ctx.Done():
-				return false
+			// An unanswerable chunk: count it skipped and keep warming
+			// the rest.
+			skipped += hi - lo
+			continue
+		}
+		for _, r := range res {
+			if r.Err == nil {
+				warmed++
+			} else {
+				skipped++
 			}
 		}
-		if len(cur) == k {
-			return true
-		}
-		for a := start; a < d; a++ {
-			cur = append(cur, a)
-			ok := gen(a + 1)
-			cur = cur[:len(cur)-1]
-			if !ok {
-				return false
-			}
-		}
-		return true
 	}
-	gen(0)
-	close(work)
-	wg.Wait()
-	return int(nWarmed.Load()), int(nSkipped.Load()), reconstruct.ContextErr(ctx)
+	return warmed, skipped, reconstruct.ContextErr(ctx)
 }

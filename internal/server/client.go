@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -280,6 +281,65 @@ func (c *Client) MarginalContext(ctx context.Context, attrs []int, method string
 	return t, nil
 }
 
+// BatchQuery names one marginal in a batched request.
+type BatchQuery struct {
+	// Attrs is the queried attribute set.
+	Attrs []int
+	// Method selects the estimator (a Method* constant); "" uses the
+	// batch default, and an empty batch default means the server-side
+	// synopsis's configured default.
+	Method string
+}
+
+// BatchAnswer is one batched answer, in request order.
+type BatchAnswer struct {
+	Table *marginal.Table
+	// Degraded marks an answer produced by the numerical fallback chain;
+	// the cells are finite and usable but may come from a different
+	// estimator than requested.
+	Degraded bool
+}
+
+// Marginals fetches many reconstructed marginals in one round trip (see
+// MarginalsContext).
+func (c *Client) Marginals(queries []BatchQuery, method string) ([]BatchAnswer, error) {
+	return c.MarginalsContext(context.Background(), queries, method)
+}
+
+// MarginalsContext posts the batch to /v1/marginals and returns one
+// answer per query in request order. method is the default estimator
+// for queries that name none; "" defers to the server's configured
+// default. The request is a POST but a pure read — the server solves
+// and answers, mutating nothing — so it flows through the same
+// idempotent retry loop as the GETs.
+func (c *Client) MarginalsContext(ctx context.Context, queries []BatchQuery, method string) ([]BatchAnswer, error) {
+	req := marginalsRequest{Queries: make([]marginalsQuery, len(queries)), Method: method}
+	for i, q := range queries {
+		req.Queries[i] = marginalsQuery{Attrs: q.Attrs, Method: q.Method}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding batch: %w", err)
+	}
+	var resp marginalsResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/marginals", body, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(queries) {
+		return nil, fmt.Errorf("server: response has %d results for %d queries", len(resp.Results), len(queries))
+	}
+	out := make([]BatchAnswer, len(resp.Results))
+	for i, r := range resp.Results {
+		t := marginal.New(r.Attrs)
+		if len(r.Cells) != t.Size() {
+			return nil, fmt.Errorf("server: result %d has %d cells for %d attributes", i, len(r.Cells), len(r.Attrs))
+		}
+		copy(t.Cells, r.Cells)
+		out[i] = BatchAnswer{Table: t, Degraded: r.Degraded}
+	}
+	return out, nil
+}
+
 // CacheStats describes the server's query cache as reported by
 // /v1/stats. Cache is false when the server runs without one.
 type CacheStats struct {
@@ -308,10 +368,18 @@ func (c *Client) StatsContext(ctx context.Context) (*CacheStats, error) {
 }
 
 // getJSON GETs path and decodes the 200 body into v, retrying transient
-// failures per the policy. Only GETs flow through here: retrying is
-// safe precisely because the requests are idempotent — do not route
-// state-changing requests through this loop.
+// failures per the policy.
 func (c *Client) getJSON(ctx context.Context, path string, v interface{}) error {
+	return c.doJSON(ctx, http.MethodGet, path, nil, v)
+}
+
+// doJSON issues one API request (resending body each attempt) and
+// decodes the 200 response into v, retrying transient failures per the
+// policy. Only read-only requests may flow through here: retrying is
+// safe precisely because they are idempotent — every GET, plus the
+// pure-read POST /v1/marginals — do not route state-changing requests
+// through this loop.
+func (c *Client) doJSON(ctx context.Context, method, path string, reqBody []byte, v interface{}) error {
 	var lastErr error
 	hint := time.Duration(0)
 	for attempt := 0; attempt < c.policy.maxAttempts(); attempt++ {
@@ -336,9 +404,16 @@ func (c *Client) getJSON(ctx context.Context, path string, v interface{}) error 
 			}
 			c.retries.Add(1)
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		var bodyReader io.Reader
+		if reqBody != nil {
+			bodyReader = bytes.NewReader(reqBody)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bodyReader)
 		if err != nil {
 			return fmt.Errorf("server: %w", err)
+		}
+		if reqBody != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
 		// Propagate the remaining budget so the server can fast-fail
 		// work this client would abandon anyway.

@@ -112,6 +112,9 @@ func NewMulti(res Resolver, defaultRelease string, opt Options) *Multi {
 	if opt.RetryAfter <= 0 {
 		opt.RetryAfter = time.Second
 	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = 256
+	}
 	if opt.Logger == nil {
 		opt.Logger = log.Default()
 	}
@@ -133,6 +136,15 @@ func NewMulti(res Resolver, defaultRelease string, opt Options) *Multi {
 	}
 	m.mux.Handle("/v1/{release}/marginal", marginal)
 	m.mux.Handle("/v1/marginal", marginal)
+	innerBatch := m.ov.deadlined(http.HandlerFunc(m.handleMarginals))
+	var marginals http.Handler
+	if m.ov.ctrl != nil {
+		marginals = m.recovered(m.ov.admitted(innerBatch, m.tryCacheOnly))
+	} else {
+		marginals = m.recovered(m.shedding(innerBatch))
+	}
+	m.mux.Handle("/v1/{release}/marginals", marginals)
+	m.mux.Handle("/v1/marginals", marginals)
 	info := m.recovered(http.HandlerFunc(m.handleInfo))
 	m.mux.Handle("/v1/{release}/info", info)
 	m.mux.Handle("/v1/info", info)
@@ -226,6 +238,26 @@ func (m *Multi) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	}
 	defer lease.Close()
 	serveMarginal(w, r, lease, serveEnv{maxK: m.opt.MaxK, logger: m.opt.Logger, svc: m.ov.svc})
+}
+
+func (m *Multi) handleMarginals(w http.ResponseWriter, r *http.Request) {
+	name, ok := m.releaseName(r)
+	if !ok {
+		http.Error(w, "no default release configured; use /v1/{release}/marginals", http.StatusNotFound)
+		return
+	}
+	lease, err := m.res.Acquire(r.Context(), name)
+	if err != nil {
+		m.writeResolveError(w, r, err)
+		return
+	}
+	defer lease.Close()
+	serveMarginals(w, r, lease, batchEnv{
+		serveEnv: serveEnv{maxK: m.opt.MaxK, logger: m.opt.Logger, svc: m.ov.svc},
+		ov:       m.ov,
+		maxBatch: m.opt.MaxBatch,
+		workers:  m.opt.BatchWorkers,
+	})
 }
 
 func (m *Multi) handleInfo(w http.ResponseWriter, r *http.Request) {

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -151,14 +154,21 @@ func (o *overload) deadlined(h http.Handler) http.Handler {
 			h.ServeHTTP(w, r)
 			return
 		}
-		if method, ok := parseMethod(r.URL.Query().Get("method")); ok {
-			if est := o.svc.Estimate(int(method)); est > 0 && budget < est {
-				o.deadlineRejected.Add(1)
-				w.Header().Set("Retry-After", retryAfterSeconds(o.opt.RetryAfter))
-				http.Error(w, fmt.Sprintf("remaining deadline %v below expected %s service time %v",
-					budget.Round(time.Millisecond), method, est.Round(time.Millisecond)),
-					http.StatusGatewayTimeout)
-				return
+		// The estimate gate only applies to single GET queries: a batch
+		// POST carries its method mix in the body, so serveMarginals runs
+		// the size-scaled gate itself after parsing — gating a batch
+		// against one query's estimate here would be wrong in both
+		// directions.
+		if r.Method == http.MethodGet {
+			if method, ok := parseMethod(r.URL.Query().Get("method")); ok {
+				if est := o.svc.Estimate(int(method)); est > 0 && budget < est {
+					o.deadlineRejected.Add(1)
+					w.Header().Set("Retry-After", retryAfterSeconds(o.opt.RetryAfter))
+					http.Error(w, fmt.Sprintf("remaining deadline %v below expected %s service time %v",
+						budget.Round(time.Millisecond), method, est.Round(time.Millisecond)),
+						http.StatusGatewayTimeout)
+					return
+				}
 			}
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
@@ -173,6 +183,9 @@ func (o *overload) deadlined(h http.Handler) http.Handler {
 // of brownout). true means handled: served from cache, or refused 503 +
 // Retry-After on a miss.
 func (o *overload) serveCacheOnly(w http.ResponseWriter, r *http.Request, q Querier) bool {
+	if r.Method == http.MethodPost {
+		return o.serveCacheOnlyBatch(w, r, q)
+	}
 	if r.Method != http.MethodGet {
 		return false
 	}
@@ -197,12 +210,70 @@ func (o *overload) serveCacheOnly(w http.ResponseWriter, r *http.Request, q Quer
 		}
 	}
 	o.brownoutRejected.Add(1)
+	o.refuseBrownout(w)
+	return true
+}
+
+// refuseBrownout writes the 503 brownout refusal with the larger of the
+// configured and controller-derived Retry-After hints.
+func (o *overload) refuseBrownout(w http.ResponseWriter) {
 	hint := o.opt.RetryAfter
 	if ra := o.ctrl.RetryAfter(); ra > hint {
 		hint = ra
 	}
 	w.Header().Set("Retry-After", retryAfterSeconds(hint))
 	http.Error(w, "brownout: serving cached answers only, retry later", http.StatusServiceUnavailable)
+}
+
+// serveCacheOnlyBatch is the brownout serving mode for the batch route:
+// the batch is served only when every member is a cache hit — one cold
+// member means one solve, which is exactly what brownout exists to
+// avoid — and refused 503 + Retry-After otherwise. The body is buffered
+// and restored so the normal path can re-read it whenever this returns
+// false (malformed input must draw the same 400 in and out of
+// brownout).
+func (o *overload) serveCacheOnlyBatch(w http.ResponseWriter, r *http.Request, q Querier) bool {
+	if !strings.HasSuffix(r.URL.Path, "/marginals") {
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxMarginalsBody+1))
+	//lint:ignore errdiscard the original body is replaced either way
+	r.Body.Close()
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	if err != nil || len(body) > maxMarginalsBody {
+		return false
+	}
+	var req marginalsRequest
+	if json.Unmarshal(body, &req) != nil || len(req.Queries) == 0 || len(req.Queries) > o.opt.MaxBatch {
+		return false
+	}
+	reqs, items := parseBatch(req, q, o.opt.MaxK)
+	if len(items) > 0 {
+		return false
+	}
+	cq, ok := q.(CacheOnlyQuerier)
+	if !ok {
+		o.brownoutRejected.Add(1)
+		o.refuseBrownout(w)
+		return true
+	}
+	resp := marginalsResponse{Results: make([]marginalResponse, len(reqs))}
+	for i, br := range reqs {
+		t, hit := cq.QueryCached(br.Attrs, br.Method)
+		if !hit {
+			o.brownoutRejected.Add(1)
+			o.refuseBrownout(w)
+			return true
+		}
+		resp.Results[i] = marginalResponse{
+			Attrs:  t.Attrs,
+			Method: br.Method.String(),
+			Total:  t.Total(),
+			Cells:  t.Cells,
+		}
+	}
+	o.brownoutServed.Add(1)
+	writeJSON(w, o.opt.Logger, resp)
 	return true
 }
 

@@ -79,6 +79,12 @@ type Options struct {
 	// RetryAfter is the hint written on shed responses (default 1s,
 	// rounded up to whole seconds as the header requires).
 	RetryAfter time.Duration
+	// MaxBatch bounds the queries one POST /v1/marginals request may
+	// carry (≤ 0 selects the default of 256).
+	MaxBatch int
+	// BatchWorkers bounds the solver goroutines one batch may fan over
+	// (core.BatchOptions.Workers); ≤ 0 selects GOMAXPROCS.
+	BatchWorkers int
 	// Admission, when non-nil, replaces the instant-429 semaphore with
 	// the adaptive admission controller (bounded queue + CoDel sojourn
 	// control + AIMD concurrency limit) and arms the deadline gate fed
@@ -119,6 +125,9 @@ func NewWithOptions(syn Querier, opt Options) *Server {
 	if opt.RetryAfter <= 0 {
 		opt.RetryAfter = time.Second
 	}
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = 256
+	}
 	if opt.Logger == nil {
 		opt.Logger = log.Default()
 	}
@@ -142,6 +151,18 @@ func NewWithOptions(syn Querier, opt Options) *Server {
 		gated = s.shedding(inner)
 	}
 	s.mux.Handle("/v1/marginal", s.recovered(gated))
+	// The batch route shares the single-query failure model: shed, then
+	// arm the deadline, then solve. The deadline *gate* (as opposed to
+	// the armed timeout) runs inside the handler, size-scaled to the
+	// parsed batch.
+	innerBatch := s.ov.deadlined(http.HandlerFunc(s.handleMarginals))
+	var gatedBatch http.Handler
+	if s.ov.ctrl != nil {
+		gatedBatch = s.ov.admitted(innerBatch, s.tryCacheOnly)
+	} else {
+		gatedBatch = s.shedding(innerBatch)
+	}
+	s.mux.Handle("/v1/marginals", s.recovered(gatedBatch))
 	return s
 }
 
@@ -303,6 +324,15 @@ type marginalResponse struct {
 
 func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	serveMarginal(w, r, s.syn, serveEnv{maxK: s.opt.MaxK, logger: s.opt.Logger, svc: s.ov.svc})
+}
+
+func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
+	serveMarginals(w, r, s.syn, batchEnv{
+		serveEnv: serveEnv{maxK: s.opt.MaxK, logger: s.opt.Logger, svc: s.ov.svc},
+		ov:       s.ov,
+		maxBatch: s.opt.MaxBatch,
+		workers:  s.opt.BatchWorkers,
+	})
 }
 
 // serveEnv carries the serving context serveMarginal needs beyond the

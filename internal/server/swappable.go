@@ -41,6 +41,20 @@ func (s *Swappable) QueryMethodContext(ctx context.Context, attrs []int, method 
 	return s.Current().QueryMethodContext(ctx, attrs, method)
 }
 
+// QueryBatch implements BatchQuerier by delegating to the current
+// querier, falling back to the sequential loop when it cannot batch. A
+// batch pins the querier current at its start; a mid-batch Swap does
+// not split answers across synopses.
+func (s *Swappable) QueryBatch(ctx context.Context, reqs []core.BatchRequest, opt core.BatchOptions) ([]core.BatchResult, error) {
+	return queryBatch(ctx, s.Current(), reqs, opt)
+}
+
+// DefaultMethod implements DefaultMethoder by delegating to the current
+// querier; CME when it exposes no default.
+func (s *Swappable) DefaultMethod() core.ReconstructMethod {
+	return defaultMethod(s.Current())
+}
+
 // Epsilon implements Querier.
 func (s *Swappable) Epsilon() float64 { return s.Current().Epsilon() }
 
