@@ -60,8 +60,9 @@ chaos-registry:
 # solver), the mixed single+batch storm over the batched marginal
 # route, the client retry-amplification bound, and the greedy-tenant
 # fairness proof. Always under -race. Set PRIVIEW_OVERLOAD_REPORT to a
-# path to capture the storm's latency partitions as JSON (CI uploads it
-# as an artifact). See DESIGN.md §13.
+# path to capture the storm's latency partitions as JSON, and
+# PRIVIEW_METRICS_SNAPSHOT to capture the mid-storm /metrics scrape
+# (CI uploads both as artifacts). See DESIGN.md §13 and §15.
 chaos-overload:
 	$(GO) test -race ./internal/admission/
 	$(GO) test -race -run 'TestOverloadStorm|TestBatchOverloadStorm|TestRetryAmplificationBounded|TestGreedyTenantFairness' ./internal/chaos/

@@ -15,6 +15,7 @@
 //	GET /v1/marginal?attrs=1,5,9          reconstruct a marginal
 //	GET /v1/marginal?attrs=1,5&method=CLN alternative estimator
 //	GET /v1/stats                         query-cache counters
+//	GET /metrics                          Prometheus text exposition (all subsystems)
 //
 // Multi-tenant mode (-registry-root): every subdirectory of the root
 // is a named release (its own snapshot store), served on
@@ -77,6 +78,7 @@ import (
 	"priview/internal/registry"
 	"priview/internal/server"
 	"priview/internal/snapshot"
+	"priview/internal/telemetry"
 )
 
 // drainer is the handler-side drain control both server flavors
@@ -110,6 +112,8 @@ func main() {
 	brownout := flag.Duration("brownout", 0, "serve cache hits only to non-priority traffic after this long of sustained overload (0 disables; requires adaptive admission)")
 	batchMax := flag.Int("batch-max", 256, "largest query count one POST /v1/marginals batch may carry")
 	batchWorkers := flag.Int("batch-workers", 0, "solver goroutines one batch may fan over (0 = GOMAXPROCS)")
+	slowQuery := flag.Duration("slow-query", 0, "log a structured per-stage breakdown for any marginal request slower than this (0 disables)")
+	statsLogInterval := flag.Duration("stats-log-interval", time.Minute, "period of the cache/admission/registry stats log lines (0 disables; /metrics is unaffected)")
 	flag.Parse()
 	modes := 0
 	for _, set := range []bool{*synPath != "", *storeDir != "", *registryRoot != ""} {
@@ -125,12 +129,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// One telemetry registry backs /metrics for the whole process: the
+	// HTTP layer, admission control, every release's cache and warm
+	// pass, and the solver all register their families here.
+	tel := telemetry.NewRegistry()
 	opt := server.Options{
 		MaxK:         *maxK,
 		QueryTimeout: *queryTimeout,
 		MaxInflight:  *maxInflight,
 		MaxBatch:     *batchMax,
 		BatchWorkers: *batchWorkers,
+		Telemetry:    tel,
+		SlowQuery:    *slowQuery,
 	}
 	if *admissionTarget > 0 {
 		// Adaptive admission replaces the instant-429 semaphore: queries
@@ -170,6 +180,7 @@ func main() {
 			WarmK:            *warm,
 			TenantRPS:        *tenantRPS,
 			Weights:          weights,
+			Metrics:          server.NewMetrics(tel),
 		})
 		if err != nil {
 			log.Fatalf("priview-serve: %v", err)
@@ -197,7 +208,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("priview-serve: %v", err)
 		}
-		cc := cacheConfig{entries: *cacheEntries, bytes: *cacheBytes, warmK: *warm}
+		cc := cacheConfig{entries: *cacheEntries, bytes: *cacheBytes, warmK: *warm, metrics: server.NewMetrics(tel)}
 		swap := server.NewSwappable(cc.wrap(syn))
 		sv := server.NewWithOptions(swap, opt)
 		handler = sv
@@ -224,8 +235,14 @@ func main() {
 	signal.Notify(hup, syscall.SIGHUP)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	statsTick := time.NewTicker(time.Minute)
-	defer statsTick.Stop()
+	// A nil channel blocks forever, so -stats-log-interval=0 simply
+	// never fires the periodic log lines (scraping stays live).
+	var statsC <-chan time.Time
+	if *statsLogInterval > 0 {
+		statsTick := time.NewTicker(*statsLogInterval)
+		defer statsTick.Stop()
+		statsC = statsTick.C
+	}
 
 	for {
 		select {
@@ -234,7 +251,7 @@ func main() {
 			log.Fatalf("priview-serve: %v", err)
 		case <-hup:
 			onHUP()
-		case <-statsTick.C:
+		case <-statsC:
 			onTick()
 		case <-ctx.Done():
 			stop() // a second signal kills immediately via the default handler
@@ -322,6 +339,7 @@ type cacheConfig struct {
 	entries int
 	bytes   int64
 	warmK   int
+	metrics *server.Metrics // warm-progress + cache gauge surface (nil in tests)
 }
 
 // wrap layers a fresh query cache over a loaded synopsis (or returns it
@@ -331,7 +349,13 @@ func (cc cacheConfig) wrap(syn *core.Synopsis) server.Querier {
 	if cc.entries <= 0 && cc.bytes <= 0 {
 		return syn
 	}
-	return server.NewCachedQuerier(syn, qcache.New(cc.entries, cc.bytes))
+	cq := server.NewCachedQuerier(syn, qcache.New(cc.entries, cc.bytes))
+	if cc.metrics != nil {
+		// Reloads build fresh caches; swapping each onto the same
+		// interned handles keeps the exported series cumulative.
+		cc.metrics.InstrumentCache("default", cq)
+	}
+	return cq
 }
 
 // warmAsync precomputes all ≤warmK-way marginals into q's cache in the
@@ -342,9 +366,15 @@ func (cc cacheConfig) warmAsync(ctx context.Context, q server.Querier) {
 	if !ok || cc.warmK <= 0 {
 		return
 	}
+	var wp *server.WarmProgress // nil is inert, so the paths stay merged
+	if cc.metrics != nil {
+		wp = cc.metrics.WarmProgress("default")
+	}
 	go func() {
 		start := time.Now()
-		warmed, skipped, err := cq.Warm(ctx, cc.warmK, 0)
+		wp.Begin()
+		warmed, skipped, err := cq.WarmWithProgress(ctx, cc.warmK, 0, wp.Update)
+		wp.End(warmed, skipped)
 		if err != nil {
 			log.Printf("priview-serve: cache warming stopped after %d marginals (%d skipped): %v", warmed, skipped, err)
 			return

@@ -10,10 +10,10 @@ import (
 	"testing"
 
 	"priview"
+	"priview/internal/accuracy"
 	"priview/internal/core"
 	"priview/internal/dataset/synth"
 	"priview/internal/marginal"
-	"priview/internal/metrics"
 	"priview/internal/privacy"
 	"priview/internal/server"
 )
@@ -73,7 +73,7 @@ func TestCuratorWorkflow(t *testing.T) {
 
 	// Step 5: the answer is actually useful.
 	truth := data.Marginal(attrs)
-	nerr := metrics.NormalizedL2Error(viaHTTP, truth, float64(data.Len()))
+	nerr := accuracy.NormalizedL2Error(viaHTTP, truth, float64(data.Len()))
 	if nerr > 0.1 {
 		t.Errorf("end-to-end error %v too large", nerr)
 	}
@@ -93,7 +93,7 @@ func TestD64EndToEnd(t *testing.T) {
 	got := syn.Query(attrs)
 	truth := data.Marginal(attrs)
 	uniform := marginal.Uniform(attrs, float64(data.Len()))
-	if metrics.L2Error(got, truth) >= metrics.L2Error(uniform, truth) {
+	if accuracy.L2Error(got, truth) >= accuracy.L2Error(uniform, truth) {
 		t.Error("d=64 reconstruction no better than uniform")
 	}
 	// Attributes 62, 63 exist and are covered.

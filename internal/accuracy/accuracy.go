@@ -1,9 +1,9 @@
-// Package metrics implements the paper's two error measures — L2 error
+// Package accuracy implements the paper's two error measures — L2 error
 // distance (optionally normalized by dataset size) and Jensen–Shannon
 // divergence between normalized marginals — plus the candlestick
 // summaries (25th/50th/75th/95th percentile and mean) used in every
 // figure.
-package metrics
+package accuracy
 
 import (
 	"math"
@@ -22,7 +22,7 @@ func L2Error(recon, truth *marginal.Table) float64 {
 // errors are comparable across datasets, exactly as the paper plots.
 func NormalizedL2Error(recon, truth *marginal.Table, n float64) float64 {
 	if n <= 0 {
-		panic("metrics: normalization requires n > 0")
+		panic("accuracy: normalization requires n > 0")
 	}
 	return marginal.L2Distance(recon, truth) / n
 }
@@ -32,7 +32,7 @@ func NormalizedL2Error(recon, truth *marginal.Table, n float64) float64 {
 // zero but P is not make the divergence infinite.
 func KLDivergence(p, q *marginal.Table) float64 {
 	if !marginal.SameAttrs(p.Attrs, q.Attrs) {
-		panic("metrics: KL over mismatched attribute sets")
+		panic("accuracy: KL over mismatched attribute sets")
 	}
 	pn := p.Normalized()
 	qn := q.Normalized()
@@ -58,7 +58,7 @@ func KLDivergence(p, q *marginal.Table) float64 {
 // that is always finite and bounded by ln 2.
 func JSDivergence(p, q *marginal.Table) float64 {
 	if !marginal.SameAttrs(p.Attrs, q.Attrs) {
-		panic("metrics: JS over mismatched attribute sets")
+		panic("accuracy: JS over mismatched attribute sets")
 	}
 	pn := p.Normalized()
 	qn := q.Normalized()
@@ -90,7 +90,7 @@ type Candlestick struct {
 // use linear interpolation between order statistics.
 func Summarize(samples []float64) Candlestick {
 	if len(samples) == 0 {
-		panic("metrics: empty sample")
+		panic("accuracy: empty sample")
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
@@ -111,7 +111,7 @@ func Summarize(samples []float64) Candlestick {
 // sample using linear interpolation.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		panic("metrics: empty sample")
+		panic("accuracy: empty sample")
 	}
 	if p <= 0 {
 		return sorted[0]
@@ -134,7 +134,7 @@ func Percentile(sorted []float64, p float64) float64 {
 // lucky zero-error run cannot zero the aggregate.
 func GeoMean(samples []float64) float64 {
 	if len(samples) == 0 {
-		panic("metrics: empty sample")
+		panic("accuracy: empty sample")
 	}
 	const floor = 1e-300
 	sum := 0.0

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"priview/internal/telemetry"
 )
 
 // Config shapes a Controller. The zero value of every field selects
@@ -141,14 +143,37 @@ type Controller struct {
 	shortLat, longLat float64
 	lastDecrease      time.Time
 
-	// Counters (guarded by mu; snapshotted by Stats).
-	admitted, queued, shed, codelDropped uint64
+	// Counters are telemetry handles: standalone by default, swapped
+	// for registry-interned ones by Instrument so /metrics and the JSON
+	// Stats read the same atomics. sojourn records every dequeued
+	// waiter's queue time in seconds (admitted and CoDel-dropped alike).
+	admitted, queued, shed, codelDropped *telemetry.Counter
+	sojourn                              *telemetry.Histogram
 }
 
 // NewController returns a controller with cfg's knobs resolved.
 func NewController(cfg Config) *Controller {
 	cfg = cfg.withDefaults()
-	return &Controller{cfg: cfg, limit: float64(cfg.InitialLimit)}
+	return &Controller{
+		cfg:          cfg,
+		limit:        float64(cfg.InitialLimit),
+		admitted:     telemetry.NewCounter(),
+		queued:       telemetry.NewCounter(),
+		shed:         telemetry.NewCounter(),
+		codelDropped: telemetry.NewCounter(),
+		sojourn:      telemetry.NewHistogram(nil),
+	}
+}
+
+// Instrument replaces the controller's counters and sojourn histogram
+// with shared telemetry handles. Call before the controller admits
+// traffic — handle swaps are not synchronized with in-flight
+// increments.
+func (c *Controller) Instrument(admitted, queued, shed, codelDropped *telemetry.Counter, sojourn *telemetry.Histogram) {
+	if admitted == nil || queued == nil || shed == nil || codelDropped == nil || sojourn == nil {
+		panic("admission: Instrument requires non-nil handles")
+	}
+	c.admitted, c.queued, c.shed, c.codelDropped, c.sojourn = admitted, queued, shed, codelDropped, sojourn
 }
 
 // curLimitLocked is the integer concurrency limit in force.
@@ -169,19 +194,19 @@ func (c *Controller) Acquire(ctx context.Context) (func(time.Duration), error) {
 	c.mu.Lock()
 	if c.inflight < c.curLimitLocked() && len(c.queue) == 0 {
 		c.inflight++
-		c.admitted++
+		c.admitted.Inc()
 		c.mu.Unlock()
 		return c.releaseFunc(), nil
 	}
 	if len(c.queue) >= c.cfg.MaxQueue {
-		c.shed++
+		c.shed.Inc()
 		err := &RejectedError{Reason: "admission queue full", RetryAfter: c.retryAfterLocked()}
 		c.mu.Unlock()
 		return nil, err
 	}
 	w := &waiter{ready: make(chan error, 1), enq: c.cfg.Now()}
 	c.queue = append(c.queue, w)
-	c.queued++
+	c.queued.Inc()
 	c.mu.Unlock()
 
 	select {
@@ -230,16 +255,18 @@ func (c *Controller) dispatchLocked() {
 		if w.state.Load() == waiterCanceled {
 			continue
 		}
-		if c.codelDropLocked(now.Sub(w.enq), now) {
+		sojourn := now.Sub(w.enq)
+		c.sojourn.ObserveDuration(sojourn)
+		if c.codelDropLocked(sojourn, now) {
 			if w.state.CompareAndSwap(waiterWaiting, waiterDropped) {
-				c.codelDropped++
+				c.codelDropped.Inc()
 				w.ready <- &RejectedError{Reason: "queue delay above target", RetryAfter: c.retryAfterLocked()}
 			}
 			continue
 		}
 		if w.state.CompareAndSwap(waiterWaiting, waiterAdmitted) {
 			c.inflight++
-			c.admitted++
+			c.admitted.Inc()
 			w.ready <- nil
 		}
 	}
@@ -387,10 +414,10 @@ func (c *Controller) Stats() Stats {
 		Limit:          c.limit,
 		Inflight:       c.inflight,
 		QueueDepth:     len(c.queue),
-		Admitted:       c.admitted,
-		Queued:         c.queued,
-		Shed:           c.shed,
-		CoDelDropped:   c.codelDropped,
+		Admitted:       c.admitted.Value(),
+		Queued:         c.queued.Value(),
+		Shed:           c.shed.Value(),
+		CoDelDropped:   c.codelDropped.Value(),
 		ShortLatencyMs: c.shortLat / float64(time.Millisecond),
 		LongLatencyMs:  c.longLat / float64(time.Millisecond),
 	}

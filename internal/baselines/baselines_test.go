@@ -4,10 +4,10 @@ import (
 	"math"
 	"testing"
 
+	"priview/internal/accuracy"
 	"priview/internal/dataset"
 	"priview/internal/dataset/synth"
 	"priview/internal/marginal"
-	"priview/internal/metrics"
 	"priview/internal/noise"
 )
 
@@ -38,7 +38,7 @@ func TestFlatAccuracyAtHighBudget(t *testing.T) {
 	f := NewFlat(data, 100, noise.NewStream(2))
 	truth := data.Marginal([]int{0, 1, 2})
 	got := f.Query([]int{0, 1, 2})
-	if err := metrics.NormalizedL2Error(got, truth, float64(data.Len())); err > 0.01 {
+	if err := accuracy.NormalizedL2Error(got, truth, float64(data.Len())); err > 0.01 {
 		t.Errorf("Flat error at eps=100 is %v, want tiny", err)
 	}
 }
@@ -49,7 +49,7 @@ func TestFlatNoiseMagnitude(t *testing.T) {
 	truth := data.Marginal([]int{0, 1})
 	got := f.Query([]int{0, 1})
 	// ESE for a 2-way marginal from Flat = 2^9·V_u = 1024; L2 ~ 32.
-	l2 := metrics.L2Error(got, truth)
+	l2 := accuracy.L2Error(got, truth)
 	if l2 > 32*5 || l2 < 32/20 {
 		t.Errorf("Flat L2 = %v, want on the order of 32", l2)
 	}
@@ -209,7 +209,7 @@ func TestFourierAccurateAtHighBudget(t *testing.T) {
 	fm := NewFourier(data, 1000, 3, false, noise.NewStream(10))
 	truth := data.Marginal([]int{1, 4, 7})
 	got := fm.Query([]int{1, 4, 7})
-	if err := metrics.L2Error(got, truth); err > 1 {
+	if err := accuracy.L2Error(got, truth); err > 1 {
 		t.Errorf("Fourier at eps=1000 has L2 %v", err)
 	}
 }
@@ -237,7 +237,7 @@ func TestFourierLPSmall(t *testing.T) {
 		}
 	}
 	truth := data.Marginal([]int{0, 1})
-	if err := metrics.NormalizedL2Error(got, truth, float64(data.Len())); err > 0.5 {
+	if err := accuracy.NormalizedL2Error(got, truth, float64(data.Len())); err > 0.5 {
 		t.Errorf("FourierLP error = %v, unreasonably large", err)
 	}
 }
@@ -271,8 +271,8 @@ func TestMWEMImprovesOverUniform(t *testing.T) {
 	queries := [][]int{{0, 1}, {0, 3}, {1, 2}, {2, 5}, {4, 7}}
 	for _, q := range queries {
 		truth := data.Marginal(q)
-		errM += metrics.L2Error(m.Query(q), truth)
-		errU += metrics.L2Error(u.Query(q), truth)
+		errM += accuracy.L2Error(m.Query(q), truth)
+		errU += accuracy.L2Error(u.Query(q), truth)
 	}
 	if errM >= errU {
 		t.Errorf("MWEM (%v) not better than Uniform (%v) at eps=5", errM, errU)
@@ -304,7 +304,7 @@ func TestMatrixMechanismQueryReasonable(t *testing.T) {
 	mm := NewMatrixMechanism(data, 50, 2, noise.NewStream(19))
 	truth := data.Marginal([]int{2, 6})
 	got := mm.Query([]int{2, 6})
-	if err := metrics.L2Error(got, truth); err > 100 {
+	if err := accuracy.L2Error(got, truth); err > 100 {
 		t.Errorf("matrix mechanism at eps=50 has L2 %v", err)
 	}
 	// Cached coefficients make repeat queries identical.
@@ -395,8 +395,8 @@ func TestMWEMBasicVariant(t *testing.T) {
 	var errBasic, errImproved float64
 	for _, q := range queries {
 		truth := data.Marginal(q)
-		errBasic += metrics.L2Error(basic.Query(q), truth)
-		errImproved += metrics.L2Error(improved.Query(q), truth)
+		errBasic += accuracy.L2Error(basic.Query(q), truth)
+		errImproved += accuracy.L2Error(improved.Query(q), truth)
 	}
 	if errImproved > errBasic*2 {
 		t.Errorf("improved MWEM (%v) much worse than basic (%v)", errImproved, errBasic)

@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"testing"
+
+	"priview/internal/telemetry"
+)
+
+// scrapeMetrics GETs a live server's /metrics mid-storm and
+// round-trips the body through the strict parser, so the exposition
+// path is exercised under the same concurrency the counters are — a
+// malformed escape, a non-cumulative bucket or a duplicate sample
+// fails the storm. When PRIVIEW_METRICS_SNAPSHOT is set the raw body
+// is written there (the CI artifact; later scrapes in the same run
+// overwrite, keeping the deepest-in-storm snapshot).
+func scrapeMetrics(t *testing.T, base string) map[string]*telemetry.ParsedFamily {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	if path := os.Getenv("PRIVIEW_METRICS_SNAPSHOT"); path != "" {
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Errorf("writing metrics snapshot: %v", err)
+		} else {
+			t.Logf("wrote metrics snapshot to %s", path)
+		}
+	}
+	fams, err := telemetry.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("mid-storm /metrics failed the strict parse: %v", err)
+	}
+	return fams
+}
+
+// mustSample fails unless family/sample/labels exists, returning its
+// value.
+func mustSample(t *testing.T, fams map[string]*telemetry.ParsedFamily, family, sample string, labels map[string]string) float64 {
+	t.Helper()
+	f := fams[family]
+	if f == nil {
+		t.Fatalf("family %s missing from /metrics", family)
+	}
+	s := f.Sample(sample, labels)
+	if s == nil {
+		t.Fatalf("sample %s%v missing from family %s", sample, labels, family)
+	}
+	return s.Value
+}

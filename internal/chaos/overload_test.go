@@ -251,7 +251,24 @@ func TestOverloadStorm(t *testing.T) {
 	// the record, then measure. Admitted requests must not inherit the
 	// queue as latency.
 	settle := startLoad(ts.URL, "/v1/marginal", 16, 0)
-	time.Sleep(400 * time.Millisecond)
+	time.Sleep(200 * time.Millisecond)
+	// Mid-storm scrape: 16 workers are hammering the admission path
+	// while the exposition renders; the strict parse re-checks the
+	// histogram and label invariants under that concurrency.
+	fams := scrapeMetrics(t, ts.URL)
+	if v := mustSample(t, fams, "priview_admission_admitted_total",
+		"priview_admission_admitted_total", nil); v == 0 {
+		t.Error("admission_admitted_total = 0 on /metrics mid-storm")
+	}
+	if v := mustSample(t, fams, "priview_admission_shed_total", "priview_admission_shed_total", nil) +
+		mustSample(t, fams, "priview_admission_codel_dropped_total", "priview_admission_codel_dropped_total", nil); v == 0 {
+		t.Error("a 2× storm shed nothing on /metrics — admission series not wired")
+	}
+	mustSample(t, fams, "priview_http_requests_total",
+		"priview_http_requests_total", map[string]string{"route": "/v1/marginal", "status": "2xx"})
+	mustSample(t, fams, "priview_solve_seconds",
+		"priview_solve_seconds_count", map[string]string{"method": "CME"})
+	time.Sleep(200 * time.Millisecond)
 	settle.halt()
 	slowStorm := runPhase("slow-storm", ts.URL, "/v1/marginal", 16, 0, time.Second)
 	p99Limit := 2 * slowBase.OKP99Ms

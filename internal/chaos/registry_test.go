@@ -18,6 +18,7 @@ import (
 	"priview/internal/registry"
 	"priview/internal/server"
 	"priview/internal/snapshot"
+	"priview/internal/telemetry"
 )
 
 // registryChaosFixture is the multi-tenant isolation rig: two real
@@ -43,6 +44,10 @@ func newRegistryChaosFixture(t *testing.T) *registryChaosFixture {
 		}
 	}
 	loader := &TenantLoader{Target: "alpha"}
+	// One shared telemetry registry, as priview-serve wires it: the
+	// mid-storm scrape must see the release families and the HTTP
+	// families on the same surface.
+	tel := telemetry.NewRegistry()
 	reg, err := registry.New(root, registry.Options{
 		Loader:           loader,
 		BreakerThreshold: 3,
@@ -53,6 +58,7 @@ func newRegistryChaosFixture(t *testing.T) *registryChaosFixture {
 		CacheEntries:     512,
 		CacheBytes:       1 << 20,
 		Logger:           log.New(io.Discard, "", 0),
+		Metrics:          server.NewMetrics(tel),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +68,7 @@ func newRegistryChaosFixture(t *testing.T) *registryChaosFixture {
 		MaxK:         9,
 		QueryTimeout: time.Second,
 		Logger:       log.New(io.Discard, "", 0),
+		Telemetry:    tel,
 	})
 	ts := httptest.NewServer(m)
 	t.Cleanup(ts.Close)
@@ -321,6 +328,26 @@ func TestRegistryTenantIsolation(t *testing.T) {
 	if s.BreakerTrips < 3 {
 		t.Errorf("full run tripped %d times, want ≥3 (one per fault phase)", s.BreakerTrips)
 	}
+
+	// Mid-storm scrape: the beta stream is still live, so the
+	// exposition renders while its counters are being hammered, and
+	// the strict parse re-checks every invariant. Alpha's fault
+	// history and beta's cache traffic must share the surface.
+	fams := scrapeMetrics(t, fx.ts.URL)
+	if v := mustSample(t, fams, "priview_release_breaker_trips_total",
+		"priview_release_breaker_trips_total", map[string]string{"release": "alpha"}); v < 3 {
+		t.Errorf("breaker_trips{alpha} = %v on /metrics, want ≥ 3", v)
+	}
+	if v := mustSample(t, fams, "priview_release_load_failures_total",
+		"priview_release_load_failures_total", map[string]string{"release": "alpha"}); v < 3 {
+		t.Errorf("load_failures{alpha} = %v on /metrics, want ≥ 3", v)
+	}
+	if v := mustSample(t, fams, "priview_qcache_hits_total",
+		"priview_qcache_hits_total", map[string]string{"release": "beta"}); v < 1 {
+		t.Errorf("qcache_hits{beta} = %v on /metrics, want ≥ 1", v)
+	}
+	mustSample(t, fams, "priview_http_requests_total",
+		"priview_http_requests_total", map[string]string{"route": "/v1/{release}/marginal", "status": "2xx"})
 
 	// The verdict: beta never saw a single failure and its tail
 	// latency stayed within bounds across every alpha fault.

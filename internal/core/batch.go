@@ -15,10 +15,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"priview/internal/attrset"
 	"priview/internal/marginal"
 	"priview/internal/reconstruct"
+	"priview/internal/telemetry"
 )
 
 // BatchRequest names one marginal in a QueryBatch call.
@@ -359,7 +361,14 @@ func (sh *solveShared) solve(ctx context.Context, method ReconstructMethod, swee
 	if err := reconstruct.ContextErr(ctx); err != nil {
 		return nil, err
 	}
-	sh.once.Do(sh.init)
+	// Only the caller that actually runs init charges the core.prepare
+	// stage; joiners of an already-built shared state spent nothing.
+	prepStart := time.Now()
+	ran := false
+	sh.once.Do(func() { ran = true; sh.init() })
+	if ran {
+		telemetry.FromContext(ctx).Stage("core.prepare", time.Since(prepStart))
+	}
 	if sh.covered != nil {
 		t := sh.covered.Clone()
 		if method == LP || sh.syn.cfg.SkipPostprocess {
@@ -404,8 +413,22 @@ func (sh *solveShared) solve(ctx context.Context, method ReconstructMethod, swee
 	return t, degraded
 }
 
-// solveOnce runs a single estimator without fallback.
+// solveOnce runs a single estimator without fallback, charging its
+// wall clock to the request trace under the estimator's stage name.
 func (sh *solveShared) solveOnce(ctx context.Context, method ReconstructMethod, opt reconstruct.Options) (*marginal.Table, error) {
+	tr := telemetry.FromContext(ctx)
+	var begin time.Time
+	if tr != nil {
+		begin = time.Now()
+	}
+	t, err := sh.dispatch(ctx, method, opt)
+	if tr != nil {
+		tr.Stage(reconstructStage(method), time.Since(begin))
+	}
+	return t, err
+}
+
+func (sh *solveShared) dispatch(ctx context.Context, method ReconstructMethod, opt reconstruct.Options) (*marginal.Table, error) {
 	switch method {
 	case CME:
 		return sh.prep.MaxEnt(ctx, opt)
@@ -418,4 +441,23 @@ func (sh *solveShared) solveOnce(ctx context.Context, method ReconstructMethod, 
 	default:
 		panic(fmt.Sprintf("core: unknown reconstruction method %d", int(method)))
 	}
+}
+
+// reconstructStage maps an estimator to its constant trace-stage label;
+// constant strings keep the stage-label set closed (bounded series
+// cardinality) and the recording allocation-free.
+func reconstructStage(m ReconstructMethod) string {
+	switch m {
+	case CME:
+		return "reconstruct.cme"
+	case CMEDual:
+		return "reconstruct.cme_dual"
+	case CLN:
+		return "reconstruct.cln"
+	case LP:
+		return "reconstruct.lp"
+	case CLP:
+		return "reconstruct.clp"
+	}
+	return "reconstruct.other"
 }

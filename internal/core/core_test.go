@@ -5,11 +5,11 @@ import (
 	"runtime"
 	"testing"
 
+	"priview/internal/accuracy"
 	"priview/internal/consistency"
 	"priview/internal/covering"
 	"priview/internal/dataset/synth"
 	"priview/internal/marginal"
-	"priview/internal/metrics"
 	"priview/internal/noise"
 )
 
@@ -62,7 +62,7 @@ func TestQueryUncoveredReasonable(t *testing.T) {
 	attrs := []int{0, 9, 17, 30}
 	got := s.Query(attrs)
 	truth := data.Marginal(attrs)
-	nerr := metrics.NormalizedL2Error(got, truth, float64(data.Len()))
+	nerr := accuracy.NormalizedL2Error(got, truth, float64(data.Len()))
 	// PriView's headline claim: far better than Direct's noise floor.
 	direct := math.Sqrt(float64(int(1)<<4)*math.Pow(float64(covering.Binom(32, 4)), 2)*2) / float64(data.Len())
 	if nerr > direct/10 {
@@ -93,7 +93,7 @@ func TestNoNoiseUncoveredSmallError(t *testing.T) {
 	attrs := []int{1, 10, 20, 31}
 	got := s.Query(attrs)
 	truth := data.Marginal(attrs)
-	nerr := metrics.NormalizedL2Error(got, truth, float64(data.Len()))
+	nerr := accuracy.NormalizedL2Error(got, truth, float64(data.Len()))
 	if nerr > 0.02 {
 		t.Errorf("noise-free error %v too large for independent data", nerr)
 	}
@@ -133,8 +133,8 @@ func TestCMEBeatsLPOnUncovered(t *testing.T) {
 	lpS := BuildSynopsis(data, Config{Epsilon: 1, Design: dg, Method: LP, SkipPostprocess: true}, noise.NewStream(12))
 	for _, q := range queries {
 		truth := data.Marginal(q)
-		errCME += metrics.L2Error(cme.Query(q), truth)
-		errLP += metrics.L2Error(lpS.Query(q), truth)
+		errCME += accuracy.L2Error(cme.Query(q), truth)
+		errLP += accuracy.L2Error(lpS.Query(q), truth)
 	}
 	if errCME >= errLP {
 		t.Errorf("CME error %v not below LP error %v", errCME, errLP)
@@ -312,8 +312,8 @@ func TestGaussianBeatsLaplaceForLargeW(t *testing.T) {
 		lap := BuildSynopsis(data, Config{Epsilon: 1, Design: dg}, noise.NewStream(int64(300+r)))
 		gau := BuildSynopsis(data, Config{Epsilon: 1, Delta: 1e-6, Noise: GaussianNoise, Design: dg},
 			noise.NewStream(int64(400+r)))
-		errL += metrics.NormalizedL2Error(lap.Query(attrs), truth, n)
-		errG += metrics.NormalizedL2Error(gau.Query(attrs), truth, n)
+		errL += accuracy.NormalizedL2Error(lap.Query(attrs), truth, n)
+		errG += accuracy.NormalizedL2Error(gau.Query(attrs), truth, n)
 	}
 	if errG >= errL {
 		t.Errorf("Gaussian (%v) not better than Laplace (%v) at w=%d", errG, errL, dg.W())

@@ -3,10 +3,10 @@ package core
 import (
 	"testing"
 
+	"priview/internal/accuracy"
 	"priview/internal/covering"
 	"priview/internal/dataset/synth"
 	"priview/internal/marginal"
-	"priview/internal/metrics"
 	"priview/internal/noise"
 )
 
@@ -29,8 +29,8 @@ func TestMergeReducesError(t *testing.T) {
 		if m.Epsilon() != 1.0 {
 			t.Fatalf("merged epsilon = %v, want 1.0", m.Epsilon())
 		}
-		errSingle += metrics.NormalizedL2Error(a.Query(attrs), truth, n)
-		errMerged += metrics.NormalizedL2Error(m.Query(attrs), truth, n)
+		errSingle += accuracy.NormalizedL2Error(a.Query(attrs), truth, n)
+		errMerged += accuracy.NormalizedL2Error(m.Query(attrs), truth, n)
 	}
 	if errMerged >= errSingle {
 		t.Errorf("merged error %v not below single-release error %v", errMerged, errSingle)
@@ -50,8 +50,8 @@ func TestMergeWeightsByEpsilon(t *testing.T) {
 	}
 	attrs := []int{0, 4}
 	truth := data.Marginal(attrs)
-	errStrong := metrics.L2Error(strong.Query(attrs), truth)
-	errMerged := metrics.L2Error(m.Query(attrs), truth)
+	errStrong := accuracy.L2Error(strong.Query(attrs), truth)
+	errMerged := accuracy.L2Error(m.Query(attrs), truth)
 	// The weak release's weight is (0.05/2)² ≈ 0.06%: merging must not
 	// blow up the strong release's accuracy.
 	if errMerged > errStrong*1.5+1 {

@@ -5,10 +5,10 @@ import (
 	"strings"
 	"testing"
 
+	"priview/internal/accuracy"
 	"priview/internal/covering"
 	"priview/internal/dataset/synth"
 	"priview/internal/marginal"
-	"priview/internal/metrics"
 	"priview/internal/noise"
 )
 
@@ -37,8 +37,8 @@ func TestQueryMethodCMEDual(t *testing.T) {
 	dual := s.QueryMethod(attrs, CMEDual)
 	// Same convex program, different solvers: answers must be close.
 	n := float64(data.Len())
-	if metrics.NormalizedL2Error(ipf, dual, n) > 0.01 {
-		t.Errorf("IPF and dual ascent disagree: %v", metrics.NormalizedL2Error(ipf, dual, n))
+	if accuracy.NormalizedL2Error(ipf, dual, n) > 0.01 {
+		t.Errorf("IPF and dual ascent disagree: %v", accuracy.NormalizedL2Error(ipf, dual, n))
 	}
 }
 

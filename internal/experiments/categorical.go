@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"priview/internal/accuracy"
 	"priview/internal/categorical"
-	"priview/internal/metrics"
 	"priview/internal/noise"
 )
 
@@ -53,7 +53,7 @@ func RunCategoricalSweep(cfg Config) []Row {
 				Experiment: "cat-sweep", Dataset: "Survey(b=3)",
 				Method:  fmt.Sprintf("s=%d", budget),
 				Epsilon: eps, K: k, Metric: "L2n",
-				Stats: metrics.Summarize(perQuery),
+				Stats: accuracy.Summarize(perQuery),
 			})
 		}
 	}

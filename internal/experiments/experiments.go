@@ -10,9 +10,9 @@ import (
 	"fmt"
 	"sort"
 
+	"priview/internal/accuracy"
 	"priview/internal/dataset"
 	"priview/internal/marginal"
-	"priview/internal/metrics"
 	"priview/internal/noise"
 )
 
@@ -64,7 +64,7 @@ type Row struct {
 	Epsilon    float64
 	K          int
 	Metric     string // "L2n" (normalized L2) or "JS"
-	Stats      metrics.Candlestick
+	Stats      accuracy.Candlestick
 	Note       string // "expected", "no-noise", covering-design name, ...
 }
 
@@ -170,20 +170,20 @@ func trueMarginals(data *dataset.Dataset, queries [][]int) []*marginal.Table {
 // error — the paper's evaluation protocol ("we compute the average
 // error of each query of five runs ... then plot the distribution of
 // the 200 average errors").
-func evalL2(build func(run int) synopsis, queries [][]int, truths []*marginal.Table, n float64, runs int) metrics.Candlestick {
+func evalL2(build func(run int) synopsis, queries [][]int, truths []*marginal.Table, n float64, runs int) accuracy.Candlestick {
 	return eval(build, queries, truths, runs, func(got, truth *marginal.Table) float64 {
-		return metrics.NormalizedL2Error(got, truth, n)
+		return accuracy.NormalizedL2Error(got, truth, n)
 	})
 }
 
 // evalJS is evalL2 with Jensen–Shannon divergence.
-func evalJS(build func(run int) synopsis, queries [][]int, truths []*marginal.Table, runs int) metrics.Candlestick {
+func evalJS(build func(run int) synopsis, queries [][]int, truths []*marginal.Table, runs int) accuracy.Candlestick {
 	return eval(build, queries, truths, runs, func(got, truth *marginal.Table) float64 {
-		return metrics.JSDivergence(got, truth)
+		return accuracy.JSDivergence(got, truth)
 	})
 }
 
-func eval(build func(run int) synopsis, queries [][]int, truths []*marginal.Table, runs int, errFn func(got, truth *marginal.Table) float64) metrics.Candlestick {
+func eval(build func(run int) synopsis, queries [][]int, truths []*marginal.Table, runs int, errFn func(got, truth *marginal.Table) float64) accuracy.Candlestick {
 	perQuery := make([]float64, len(queries))
 	for run := 0; run < runs; run++ {
 		syn := build(run)
@@ -194,32 +194,32 @@ func eval(build func(run int) synopsis, queries [][]int, truths []*marginal.Tabl
 	for i := range perQuery {
 		perQuery[i] /= float64(runs)
 	}
-	return metrics.Summarize(perQuery)
+	return accuracy.Summarize(perQuery)
 }
 
 // evalBoth computes the normalized-L2 and Jensen–Shannon candlesticks
 // in a single query pass (reconstruction dominates the cost, so the
 // two-metric figures use this instead of two eval calls).
-func evalBoth(build func(run int) synopsis, queries [][]int, truths []*marginal.Table, n float64, runs int) (l2, js metrics.Candlestick) {
+func evalBoth(build func(run int) synopsis, queries [][]int, truths []*marginal.Table, n float64, runs int) (l2, js accuracy.Candlestick) {
 	perL2 := make([]float64, len(queries))
 	perJS := make([]float64, len(queries))
 	for run := 0; run < runs; run++ {
 		syn := build(run)
 		for i, q := range queries {
 			got := syn.Query(q)
-			perL2[i] += metrics.NormalizedL2Error(got, truths[i], n)
-			perJS[i] += metrics.JSDivergence(got, truths[i])
+			perL2[i] += accuracy.NormalizedL2Error(got, truths[i], n)
+			perJS[i] += accuracy.JSDivergence(got, truths[i])
 		}
 	}
 	for i := range perL2 {
 		perL2[i] /= float64(runs)
 		perJS[i] /= float64(runs)
 	}
-	return metrics.Summarize(perL2), metrics.Summarize(perJS)
+	return accuracy.Summarize(perL2), accuracy.Summarize(perJS)
 }
 
 // constantCandlestick represents an analytic (expected) value as a
 // degenerate candlestick so it renders uniformly with measured rows.
-func constantCandlestick(v float64) metrics.Candlestick {
-	return metrics.Candlestick{P25: v, Median: v, P75: v, P95: v, Mean: v}
+func constantCandlestick(v float64) accuracy.Candlestick {
+	return accuracy.Candlestick{P25: v, Median: v, P75: v, P95: v, Mean: v}
 }

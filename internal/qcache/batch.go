@@ -63,20 +63,20 @@ func (c *Cache) DoBatch(ctx context.Context, keys []Key, compute func(ctx contex
 		for _, k := range pending {
 			if el, ok := c.items[k]; ok {
 				c.ll.MoveToFront(el)
-				c.hits++
+				c.hits.Inc()
 				hitKeys = append(hitKeys, k)
 				hitTables = append(hitTables, el.Value.(*entry).table)
 				continue
 			}
 			if f, ok := c.flights[k]; ok {
-				c.coalesced++
+				c.coalesced.Inc()
 				joins = append(joins, k)
 				joinFl = append(joinFl, f)
 				continue
 			}
 			f := &flight{done: make(chan struct{})}
 			c.flights[k] = f
-			c.misses++
+			c.misses.Inc()
 			leads = append(leads, k)
 			leadFl = append(leadFl, f)
 		}

@@ -31,10 +31,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"priview/internal/attrset"
 	"priview/internal/marginal"
 	"priview/internal/reconstruct"
+	"priview/internal/telemetry"
 )
 
 // Key identifies one memoizable query: the attribute set as an
@@ -154,12 +156,19 @@ type Cache struct {
 	maxBytes   int64
 	budget     *Budget // nil = no shared accounting
 
-	mu                                 sync.Mutex
-	ll                                 *list.List            // LRU order, front = most recent
-	items                              map[Key]*list.Element // element values are *entry
-	flights                            map[Key]*flight       // in-progress solves
-	bytes                              int64
-	hits, misses, evictions, coalesced uint64
+	// The counters are telemetry handles rather than plain fields: by
+	// default each cache gets standalone counters (New), and Instrument
+	// swaps in registry-interned ones so a release's hit/miss series
+	// accumulates across cache generations (every reload builds a fresh
+	// Cache). Stats() and /metrics read the same atomics, so the JSON
+	// stats surface and the Prometheus exposition can never disagree.
+	hits, misses, evictions, coalesced *telemetry.Counter
+
+	mu      sync.Mutex
+	ll      *list.List            // LRU order, front = most recent
+	items   map[Key]*list.Element // element values are *entry
+	flights map[Key]*flight       // in-progress solves
+	bytes   int64
 }
 
 type entry struct {
@@ -195,10 +204,28 @@ func NewShared(maxEntries int, maxBytes int64, budget *Budget) *Cache {
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
 		budget:     budget,
+		hits:       telemetry.NewCounter(),
+		misses:     telemetry.NewCounter(),
+		evictions:  telemetry.NewCounter(),
+		coalesced:  telemetry.NewCounter(),
 		ll:         list.New(),
 		items:      make(map[Key]*list.Element),
 		flights:    make(map[Key]*flight),
 	}
+}
+
+// Instrument replaces the cache's counters with shared telemetry
+// handles (typically children of a release-labeled CounterVec). Call
+// before the cache serves traffic — handle swaps are not synchronized
+// with in-flight increments. Passing interned handles makes the
+// counter series cumulative across cache rebuilds, which is exactly
+// what a Prometheus rate() wants; Stats() then reports the lifetime
+// totals of the release, not of this cache generation.
+func (c *Cache) Instrument(hits, misses, evictions, coalesced *telemetry.Counter) {
+	if hits == nil || misses == nil || evictions == nil || coalesced == nil {
+		panic("qcache: Instrument requires four non-nil counters")
+	}
+	c.hits, c.misses, c.evictions, c.coalesced = hits, misses, evictions, coalesced
 }
 
 // Do returns the memoized table for key, or runs compute to produce it.
@@ -214,6 +241,15 @@ func NewShared(maxEntries int, maxBytes int64, budget *Budget) *Cache {
 // error such as reconstruct.ErrNumerical — are passed through to every
 // waiter of that flight but not cached.
 func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (*marginal.Table, error)) (*marginal.Table, error) {
+	// The trace records which of the three cache outcomes this request
+	// took and how long it spent there; all three stage names feed the
+	// priview_stage_seconds histograms. tr is nil when the caller is not
+	// tracing (Stage is a nil-safe no-op).
+	tr := telemetry.FromContext(ctx)
+	var begin time.Time
+	if tr != nil {
+		begin = time.Now()
+	}
 	for {
 		if err := reconstruct.ContextErr(ctx); err != nil {
 			return nil, err
@@ -221,20 +257,26 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {
 			c.ll.MoveToFront(el)
-			c.hits++
+			c.hits.Inc()
 			t := el.Value.(*entry).table
 			c.mu.Unlock()
+			if tr != nil {
+				tr.Stage("cache.hit", time.Since(begin))
+			}
 			// Safe to clone outside the lock: stored tables are never
 			// mutated, and eviction only drops the reference.
 			return t.Clone(), nil
 		}
 		if f, ok := c.flights[key]; ok {
-			c.coalesced++
+			c.coalesced.Inc()
 			c.mu.Unlock()
 			select {
 			case <-ctx.Done():
 				return nil, reconstruct.ContextErr(ctx)
 			case <-f.done:
+			}
+			if tr != nil {
+				tr.Stage("cache.join", time.Since(begin))
 			}
 			if canceledErr(f.err) {
 				// The leader gave up before finishing. Our context is
@@ -249,7 +291,7 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(context.Context) (
 		}
 		f := &flight{done: make(chan struct{})}
 		c.flights[key] = f
-		c.misses++
+		c.misses.Inc()
 		c.mu.Unlock()
 		return c.lead(ctx, key, f, compute)
 	}
@@ -268,7 +310,7 @@ func (c *Cache) Peek(key Key) (*marginal.Table, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	c.hits++
+	c.hits.Inc()
 	t := el.Value.(*entry).table
 	c.mu.Unlock()
 	// Safe to clone outside the lock: stored tables are never mutated,
@@ -288,8 +330,10 @@ func (c *Cache) lead(ctx context.Context, key Key, f *flight, compute func(conte
 			c.finish(key, f, nil)
 		}
 	}()
+	fillStart := time.Now()
 	t, err = compute(ctx)
 	completed = true
+	telemetry.FromContext(ctx).Stage("cache.fill", time.Since(fillStart))
 	var shared *marginal.Table
 	if t != nil {
 		// One immutable copy serves both the cache and the waiters;
@@ -367,7 +411,7 @@ func (c *Cache) evictTailLocked() bool {
 		return false
 	}
 	c.removeLocked(back)
-	c.evictions++
+	c.evictions.Inc()
 	return true
 }
 
@@ -404,15 +448,18 @@ func (c *Cache) Purge() int {
 	return n
 }
 
-// Stats returns a snapshot of the counters and current occupancy.
+// Stats returns a snapshot of the counters and current occupancy. The
+// counters are read from the same telemetry handles /metrics exposes;
+// after Instrument they cover the release's lifetime, not just this
+// cache generation.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Coalesced: c.coalesced,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+		Coalesced: c.coalesced.Value(),
 		Entries:   c.ll.Len(),
 		Bytes:     c.bytes,
 	}

@@ -134,6 +134,12 @@ type Options struct {
 	// Now is the clock (nil = time.Now); tests inject a fake to drive
 	// breaker cooldowns deterministically.
 	Now func() time.Time
+	// Metrics, when non-nil, exports every release's lifecycle counters,
+	// cache counters and warm progress as release-labeled series on the
+	// shared scrape surface (pass the serving router's Metrics so one
+	// GET /metrics covers both). nil keeps the counters standalone —
+	// the JSON stats surfaces are unaffected either way.
+	Metrics *server.Metrics
 	// Logger receives operational messages (nil = log.Default()).
 	Logger *log.Logger
 }
@@ -218,8 +224,9 @@ func (o Options) perReleaseBytes() int64 {
 type Registry struct {
 	root    string
 	opt     Options
-	loadSem chan struct{}  // shared load concurrency; breaker-open tenants never enter
-	budget  *qcache.Budget // global cache byte pool; nil when disabled
+	loadSem chan struct{}    // shared load concurrency; breaker-open tenants never enter
+	budget  *qcache.Budget   // global cache byte pool; nil when disabled
+	fams    *releaseFamilies // nil when Options.Metrics is unset
 	bg      context.Context
 	cancel  context.CancelFunc
 
@@ -247,6 +254,9 @@ func New(root string, opt Options) (*Registry, error) {
 	}
 	if opt.CacheBytes > 0 {
 		reg.budget = qcache.NewBudget(opt.CacheBytes)
+	}
+	if opt.Metrics != nil {
+		reg.fams = newReleaseFamilies(opt.Metrics.Registry)
 	}
 	reg.bg, reg.cancel = context.WithCancel(context.Background())
 	return reg, nil

@@ -15,6 +15,7 @@ import (
 	"priview/internal/reconstruct"
 	"priview/internal/server"
 	"priview/internal/snapshot"
+	"priview/internal/telemetry"
 )
 
 // breakerState is the per-release circuit breaker FSM.
@@ -75,25 +76,109 @@ type release struct {
 	c counters
 }
 
-// counters are the per-release observability counters; atomics so the
-// stats path never contends with the serving path.
+// counters are the per-release observability counters; lock-free
+// telemetry handles so the stats path never contends with the serving
+// path. Standalone by default; when the registry carries a Metrics
+// surface they are the release-labeled registry series instead, so the
+// JSON stats and /metrics read one set of numbers.
 type counters struct {
-	LoadAttempts   atomic.Uint64
-	LoadFailures   atomic.Uint64
-	Reloads        atomic.Uint64
-	ReloadFailures atomic.Uint64
-	Trips          atomic.Uint64
-	BreakerRejects atomic.Uint64
-	BackoffRejects atomic.Uint64
-	HalfOpenProbes atomic.Uint64
-	Shed           atomic.Uint64
-	RateLimited    atomic.Uint64
-	Evictions      atomic.Uint64
-	Readmits       atomic.Uint64
+	LoadAttempts   *telemetry.Counter
+	LoadFailures   *telemetry.Counter
+	Reloads        *telemetry.Counter
+	ReloadFailures *telemetry.Counter
+	Trips          *telemetry.Counter
+	BreakerRejects *telemetry.Counter
+	BackoffRejects *telemetry.Counter
+	HalfOpenProbes *telemetry.Counter
+	Shed           *telemetry.Counter
+	RateLimited    *telemetry.Counter
+	Evictions      *telemetry.Counter
+	Readmits       *telemetry.Counter
+}
+
+// releaseFamilies is the registry's per-release counter family set,
+// registered once per telemetry registry; each release interns its own
+// children by name at registration time.
+type releaseFamilies struct {
+	loadAttempts   *telemetry.CounterVec
+	loadFailures   *telemetry.CounterVec
+	reloads        *telemetry.CounterVec
+	reloadFailures *telemetry.CounterVec
+	trips          *telemetry.CounterVec
+	breakerRejects *telemetry.CounterVec
+	backoffRejects *telemetry.CounterVec
+	halfOpenProbes *telemetry.CounterVec
+	shed           *telemetry.CounterVec
+	rateLimited    *telemetry.CounterVec
+	evictions      *telemetry.CounterVec
+	readmits       *telemetry.CounterVec
+}
+
+func newReleaseFamilies(reg *telemetry.Registry) *releaseFamilies {
+	return &releaseFamilies{
+		loadAttempts:   reg.CounterVec("priview_release_load_attempts_total", "Release load attempts (first admission and breaker probes).", "release"),
+		loadFailures:   reg.CounterVec("priview_release_load_failures_total", "Release loads that failed checksum, audit or I/O.", "release"),
+		reloads:        reg.CounterVec("priview_release_reloads_total", "Successful hot reloads through keep-last-good.", "release"),
+		reloadFailures: reg.CounterVec("priview_release_reload_failures_total", "Hot reloads that failed and kept the last good synopsis.", "release"),
+		trips:          reg.CounterVec("priview_release_breaker_trips_total", "Circuit-breaker openings.", "release"),
+		breakerRejects: reg.CounterVec("priview_release_breaker_rejects_total", "Acquires fast-failed by an open or probing breaker.", "release"),
+		backoffRejects: reg.CounterVec("priview_release_backoff_rejects_total", "Acquires fast-failed during inter-failure load backoff.", "release"),
+		halfOpenProbes: reg.CounterVec("priview_release_half_open_probes_total", "Half-open breaker probes admitted.", "release"),
+		shed:           reg.CounterVec("priview_release_shed_total", "Acquires shed by the release's own bulkhead.", "release"),
+		rateLimited:    reg.CounterVec("priview_release_rate_limited_total", "Acquires refused by the tenant token bucket.", "release"),
+		evictions:      reg.CounterVec("priview_release_evictions_total", "Residency-bound evictions of the release's synopsis.", "release"),
+		readmits:       reg.CounterVec("priview_release_readmits_total", "Re-admissions of a previously evicted release.", "release"),
+	}
+}
+
+// interned returns the release's counter set as children of the
+// registry families, cumulative across reloads and evictions.
+func (f *releaseFamilies) interned(name string) counters {
+	return counters{
+		LoadAttempts:   f.loadAttempts.With(name),
+		LoadFailures:   f.loadFailures.With(name),
+		Reloads:        f.reloads.With(name),
+		ReloadFailures: f.reloadFailures.With(name),
+		Trips:          f.trips.With(name),
+		BreakerRejects: f.breakerRejects.With(name),
+		BackoffRejects: f.backoffRejects.With(name),
+		HalfOpenProbes: f.halfOpenProbes.With(name),
+		Shed:           f.shed.With(name),
+		RateLimited:    f.rateLimited.With(name),
+		Evictions:      f.evictions.With(name),
+		Readmits:       f.readmits.With(name),
+	}
+}
+
+// standaloneCounters is the no-telemetry fallback counter set.
+func standaloneCounters() counters {
+	return counters{
+		LoadAttempts:   telemetry.NewCounter(),
+		LoadFailures:   telemetry.NewCounter(),
+		Reloads:        telemetry.NewCounter(),
+		ReloadFailures: telemetry.NewCounter(),
+		Trips:          telemetry.NewCounter(),
+		BreakerRejects: telemetry.NewCounter(),
+		BackoffRejects: telemetry.NewCounter(),
+		HalfOpenProbes: telemetry.NewCounter(),
+		Shed:           telemetry.NewCounter(),
+		RateLimited:    telemetry.NewCounter(),
+		Evictions:      telemetry.NewCounter(),
+		Readmits:       telemetry.NewCounter(),
+	}
 }
 
 func newRelease(reg *Registry, name string, st *snapshot.Store) *release {
 	rl := &release{reg: reg, name: name, store: st, weight: reg.opt.weightFor(name)}
+	if reg.fams != nil {
+		rl.c = reg.fams.interned(name)
+		// Registered once per release name: the hook follows the current
+		// cache through rl, and a retired-then-readded name's stale hook
+		// goes quiet (cache nil → ok false) rather than double-counting.
+		reg.opt.Metrics.WatchCacheGauges(name, rl.cacheStats)
+	} else {
+		rl.c = standaloneCounters()
+	}
 	if reg.opt.MaxInflight > 0 {
 		// Weighted bulkhead carve: a heavier tenant may hold more
 		// concurrent queries, but every tenant keeps at least one permit
@@ -312,7 +397,14 @@ func (rl *release) publish(res *snapshot.LoadResult) server.Querier {
 	var q server.Querier = res.Synopsis
 	if reg.opt.CacheEntries > 0 {
 		cache = qcache.NewShared(reg.opt.CacheEntries, reg.opt.perReleaseBytes(), reg.budget)
-		q = server.NewCachedQuerier(res.Synopsis, cache)
+		cq := server.NewCachedQuerier(res.Synopsis, cache)
+		if reg.opt.Metrics != nil {
+			// Each publish builds a fresh cache; swapping it onto the
+			// release's interned handles keeps the exported series
+			// cumulative over the release's lifetime.
+			reg.opt.Metrics.InstrumentCache(rl.name, cq)
+		}
+		q = cq
 	}
 	rl.mu.Lock()
 	if rl.swap == nil {
@@ -395,6 +487,19 @@ func (rl *release) strike(ch chan struct{}, cause error) error {
 		return cause
 	}
 	return &server.UnavailableError{Reason: "load failed: " + cause.Error(), RetryAfter: retryAfter}
+}
+
+// cacheStats feeds the release's scrape-time cache gauges: the current
+// cache's snapshot, following reloads and evictions through rl. ok is
+// false while the release holds no cache (cold, evicted or retired).
+func (rl *release) cacheStats() (qcache.Stats, bool) {
+	rl.mu.Lock()
+	c := rl.cache
+	rl.mu.Unlock()
+	if c == nil {
+		return qcache.Stats{}, false
+	}
+	return c.Stats(), true
 }
 
 // consecFailsApprox reads the failure streak for log lines only.
@@ -483,7 +588,15 @@ func (rl *release) warmAsync(q server.Querier, handoff []qcache.Key) {
 		if !ok || reg.opt.WarmK <= 0 {
 			return
 		}
-		warmed, skipped, err := cq.Warm(ctx, reg.opt.WarmK, 0)
+		// The nil *WarmProgress is inert, so the no-telemetry path runs
+		// the same code.
+		var wp *server.WarmProgress
+		if reg.opt.Metrics != nil {
+			wp = reg.opt.Metrics.WarmProgress(rl.name)
+		}
+		wp.Begin()
+		warmed, skipped, err := cq.WarmWithProgress(ctx, reg.opt.WarmK, 0, wp.Update)
+		wp.End(warmed, skipped)
 		if err != nil {
 			reg.opt.Logger.Printf("registry: %s: cache warming stopped after %d marginals (%d skipped): %v", rl.name, warmed, skipped, err)
 			return
@@ -542,7 +655,11 @@ func (rl *release) maybeReload(ctx context.Context) {
 	var q server.Querier = res.Synopsis
 	if reg.opt.CacheEntries > 0 {
 		cache = qcache.NewShared(reg.opt.CacheEntries, reg.opt.perReleaseBytes(), reg.budget)
-		q = server.NewCachedQuerier(res.Synopsis, cache)
+		cq := server.NewCachedQuerier(res.Synopsis, cache)
+		if reg.opt.Metrics != nil {
+			reg.opt.Metrics.InstrumentCache(rl.name, cq)
+		}
+		q = cq
 	}
 	// The old cache's hot keys seed the new one; its entries must not
 	// survive (qcache keys carry no synopsis identity).
@@ -638,22 +755,22 @@ func (rl *release) stats() ReleaseStats {
 		s.CacheStats = rl.cache.Stats()
 	}
 	rl.mu.Unlock()
-	s.BreakerTrips = rl.c.Trips.Load()
-	s.BreakerRejects = rl.c.BreakerRejects.Load()
-	s.BackoffRejects = rl.c.BackoffRejects.Load()
-	s.HalfOpenProbes = rl.c.HalfOpenProbes.Load()
-	s.LoadAttempts = rl.c.LoadAttempts.Load()
-	s.LoadFailures = rl.c.LoadFailures.Load()
-	s.Reloads = rl.c.Reloads.Load()
-	s.ReloadFailures = rl.c.ReloadFailures.Load()
-	s.Shed = rl.c.Shed.Load()
-	s.RateLimited = rl.c.RateLimited.Load()
+	s.BreakerTrips = rl.c.Trips.Value()
+	s.BreakerRejects = rl.c.BreakerRejects.Value()
+	s.BackoffRejects = rl.c.BackoffRejects.Value()
+	s.HalfOpenProbes = rl.c.HalfOpenProbes.Value()
+	s.LoadAttempts = rl.c.LoadAttempts.Value()
+	s.LoadFailures = rl.c.LoadFailures.Value()
+	s.Reloads = rl.c.Reloads.Value()
+	s.ReloadFailures = rl.c.ReloadFailures.Value()
+	s.Shed = rl.c.Shed.Value()
+	s.RateLimited = rl.c.RateLimited.Value()
 	s.Weight = rl.weight
 	if rl.bucket != nil {
 		s.RateLimitRPS = rl.reg.opt.TenantRPS * rl.weight
 	}
-	s.Evictions = rl.c.Evictions.Load()
-	s.Readmits = rl.c.Readmits.Load()
+	s.Evictions = rl.c.Evictions.Value()
+	s.Readmits = rl.c.Readmits.Value()
 	if rl.inflight != nil {
 		s.InflightLimit = cap(rl.inflight)
 		s.Inflight = len(rl.inflight)

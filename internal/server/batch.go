@@ -14,6 +14,7 @@ import (
 	"priview/internal/attrset"
 	"priview/internal/core"
 	"priview/internal/reconstruct"
+	"priview/internal/telemetry"
 )
 
 // BatchQuerier is the batched query surface: answer many marginal
@@ -289,9 +290,16 @@ func serveMarginals(w http.ResponseWriter, r *http.Request, q Querier, env batch
 	}
 	// Input is validated; from here every failure is the server's, not
 	// the client's (solver-level validation cannot fire: the parse above
-	// is strictly stricter).
+	// is strictly stricter). The trace rides the context down through
+	// qcache and core, which record their stage timings into it.
+	ctx, tr := telemetry.StartTrace(r.Context())
+	if env.tel != nil {
+		defer env.tel.finishTrace(tr, env.logger, env.slow, r.URL.Path, func() string {
+			return fmt.Sprintf("batch=%d solves=%d", len(reqs), n)
+		})
+	}
 	start := time.Now()
-	results, err := queryBatch(r.Context(), q, reqs, core.BatchOptions{Workers: env.workers})
+	results, err := queryBatch(ctx, q, reqs, core.BatchOptions{Workers: env.workers})
 	if err != nil {
 		var be *core.BatchError
 		switch {
@@ -311,17 +319,23 @@ func serveMarginals(w http.ResponseWriter, r *http.Request, q Querier, env batch
 		}
 		return
 	}
-	if env.svc != nil && n > 0 {
+	if (env.svc != nil || env.tel != nil) && n > 0 {
 		// Normalize the batch's wall clock back to a per-solve service
 		// time so batches and singles feed one EWMA: n solves across w
-		// workers take ~n/w solve-times of wall clock.
+		// workers take ~n/w solve-times of wall clock. The solve-time
+		// histograms get the same normalized value for the same reason.
 		weff := workers
 		if weff > n {
 			weff = n
 		}
 		perSolve := time.Duration(int64(time.Since(start)) * int64(weff) / int64(n))
 		for m := range methods {
-			env.svc.Observe(int(m), perSolve)
+			if env.svc != nil {
+				env.svc.Observe(int(m), perSolve)
+			}
+			if env.tel != nil {
+				env.tel.observeSolve(m, perSolve)
+			}
 		}
 	}
 	resp := marginalsResponse{Results: make([]marginalResponse, len(results))}

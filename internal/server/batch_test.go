@@ -101,10 +101,10 @@ func TestMarginalsPerIndexErrors(t *testing.T) {
 	s, _ := testServer(t)
 	body := map[string]interface{}{
 		"queries": []map[string]interface{}{
-			{"attrs": []int{0, 1}},                     // valid
-			{"attrs": []int{2, 2}},                     // duplicate
-			{"attrs": []int{}},                         // empty
-			{"attrs": []int{3}, "method": "SIMPLEX9"},  // unknown method
+			{"attrs": []int{0, 1}},                                     // valid
+			{"attrs": []int{2, 2}},                                     // duplicate
+			{"attrs": []int{}},                                         // empty
+			{"attrs": []int{3}, "method": "SIMPLEX9"},                  // unknown method
 			{"attrs": []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}}, // over MaxK
 		},
 	}
@@ -448,7 +448,7 @@ func TestBrownoutServesCachedBatchesOnly(t *testing.T) {
 	if rec := postMarginals(t, s, "/v1/marginals", badReq); rec.Code != http.StatusTooManyRequests {
 		t.Errorf("invalid batch during brownout: status %d, want 429 (normal path); body %q", rec.Code, rec.Body.String())
 	}
-	if served := s.ov.brownoutServed.Load(); served == 0 {
+	if served := s.ov.brownoutServed.Value(); served == 0 {
 		t.Error("brownoutServed counter never ticked for the cached batch")
 	}
 

@@ -142,6 +142,10 @@ func (c *CachedQuerier) DefaultMethod() core.ReconstructMethod {
 // zero.
 const warmChunk = 256
 
+// WarmProgressFunc receives the running warm totals after every
+// completed chunk. (*WarmProgress).Update satisfies it directly.
+type WarmProgressFunc func(warmed, skipped int)
+
 // Warm precomputes every marginal of 1..k attributes with the
 // synopsis's configured default estimator (the method the unadorned
 // query path uses — warming CME keys for a CLN-default release would
@@ -160,6 +164,13 @@ const warmChunk = 256
 // solves inside a chunk share constraint precompute and the worker
 // pool.
 func (c *CachedQuerier) Warm(ctx context.Context, k, workers int) (warmed, skipped int, err error) {
+	return c.WarmWithProgress(ctx, k, workers, nil)
+}
+
+// WarmWithProgress is Warm reporting its running totals through fn
+// after every completed chunk, so a long pass is observable while it
+// runs (the warm-progress gauges hang off this). fn may be nil.
+func (c *CachedQuerier) WarmWithProgress(ctx context.Context, k, workers int, fn WarmProgressFunc) (warmed, skipped int, err error) {
 	dg := c.Design()
 	if dg == nil || k <= 0 {
 		return 0, 0, nil
@@ -184,14 +195,17 @@ func (c *CachedQuerier) Warm(ctx context.Context, k, workers int) (warmed, skipp
 			// An unanswerable chunk: count it skipped and keep warming
 			// the rest.
 			skipped += hi - lo
-			continue
-		}
-		for _, r := range res {
-			if r.Err == nil {
-				warmed++
-			} else {
-				skipped++
+		} else {
+			for _, r := range res {
+				if r.Err == nil {
+					warmed++
+				} else {
+					skipped++
+				}
 			}
+		}
+		if fn != nil {
+			fn(warmed, skipped)
 		}
 	}
 	return warmed, skipped, reconstruct.ContextErr(ctx)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"priview/internal/marginal"
+	"priview/internal/telemetry"
 )
 
 // DefaultClientTimeout bounds a single HTTP attempt for clients built
@@ -115,7 +116,9 @@ type Client struct {
 	budget   *retryBudget // nil = no retry budget
 	priority string
 
-	attempts, retries, budgetDenied atomic.Uint64
+	// Standalone by default; Metrics.InstrumentClient swaps them for
+	// registry-backed series before the client issues requests.
+	attempts, retries, budgetDenied *telemetry.Counter
 }
 
 // retryBudget is the success-funded token bucket behind
@@ -174,10 +177,13 @@ func NewClientWithPolicy(base string, httpClient *http.Client, policy RetryPolic
 	}
 	rng.state.Store(seed)
 	c := &Client{
-		base:   strings.TrimRight(base, "/"),
-		hc:     httpClient,
-		policy: policy,
-		rng:    rng,
+		base:         strings.TrimRight(base, "/"),
+		hc:           httpClient,
+		policy:       policy,
+		rng:          rng,
+		attempts:     telemetry.NewCounter(),
+		retries:      telemetry.NewCounter(),
+		budgetDenied: telemetry.NewCounter(),
 	}
 	if policy.RetryBudget > 0 {
 		burst := policy.RetryBurst
@@ -214,9 +220,9 @@ type RetryStats struct {
 // use.
 func (c *Client) RetryStats() RetryStats {
 	st := RetryStats{
-		Attempts:     c.attempts.Load(),
-		Retries:      c.retries.Load(),
-		BudgetDenied: c.budgetDenied.Load(),
+		Attempts:     c.attempts.Value(),
+		Retries:      c.retries.Value(),
+		BudgetDenied: c.budgetDenied.Value(),
 		BudgetTokens: -1,
 	}
 	if c.budget != nil {

@@ -12,6 +12,7 @@ import (
 
 	"priview/internal/admission"
 	"priview/internal/reconstruct"
+	"priview/internal/telemetry"
 )
 
 // Resolution errors — the vocabulary a release registry speaks to the
@@ -99,6 +100,7 @@ type Multi struct {
 	opt      Options
 	inflight chan struct{} // global shed, on top of per-release bulkheads
 	ov       *overload
+	tel      *Metrics
 	draining atomic.Bool
 }
 
@@ -118,13 +120,24 @@ func NewMulti(res Resolver, defaultRelease string, opt Options) *Multi {
 	if opt.Logger == nil {
 		opt.Logger = log.Default()
 	}
-	m := &Multi{res: res, def: defaultRelease, mux: http.NewServeMux(), opt: opt, ov: newOverload(opt)}
+	reg := opt.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &Multi{res: res, def: defaultRelease, mux: http.NewServeMux(), opt: opt, ov: newOverload(opt), tel: NewMetrics(reg)}
 	if opt.MaxInflight > 0 && m.ov.ctrl == nil {
 		m.inflight = make(chan struct{}, opt.MaxInflight)
 	}
-	m.mux.Handle("/healthz", m.recovered(http.HandlerFunc(m.handleHealth)))
-	m.mux.Handle("/readyz", m.recovered(http.HandlerFunc(m.handleReady)))
-	m.mux.Handle("/v1/releases", m.recovered(http.HandlerFunc(m.handleReleases)))
+	m.tel.instrumentOverload(m.ov)
+	// Routes are instrumented under their registered patterns, so the
+	// route label stays a closed set — release names never reach it
+	// (they label the registry's per-release series instead). Legacy
+	// aliases get their own instrumented wrapper under their own
+	// pattern; /metrics is deliberately uninstrumented.
+	m.mux.Handle("/metrics", m.recovered(reg.Handler()))
+	m.mux.Handle("/healthz", m.tel.instrumented("/healthz", m.recovered(http.HandlerFunc(m.handleHealth))))
+	m.mux.Handle("/readyz", m.tel.instrumented("/readyz", m.recovered(http.HandlerFunc(m.handleReady))))
+	m.mux.Handle("/v1/releases", m.tel.instrumented("/v1/releases", m.recovered(http.HandlerFunc(m.handleReleases))))
 	// Named-release routes plus the legacy aliases. Order of middleware
 	// matches the singleton server: shed before arming the deadline.
 	inner := m.ov.deadlined(http.HandlerFunc(m.handleMarginal))
@@ -134,8 +147,8 @@ func NewMulti(res Resolver, defaultRelease string, opt Options) *Multi {
 	} else {
 		marginal = m.recovered(m.shedding(inner))
 	}
-	m.mux.Handle("/v1/{release}/marginal", marginal)
-	m.mux.Handle("/v1/marginal", marginal)
+	m.mux.Handle("/v1/{release}/marginal", m.tel.instrumented("/v1/{release}/marginal", marginal))
+	m.mux.Handle("/v1/marginal", m.tel.instrumented("/v1/marginal", marginal))
 	innerBatch := m.ov.deadlined(http.HandlerFunc(m.handleMarginals))
 	var marginals http.Handler
 	if m.ov.ctrl != nil {
@@ -143,16 +156,21 @@ func NewMulti(res Resolver, defaultRelease string, opt Options) *Multi {
 	} else {
 		marginals = m.recovered(m.shedding(innerBatch))
 	}
-	m.mux.Handle("/v1/{release}/marginals", marginals)
-	m.mux.Handle("/v1/marginals", marginals)
+	m.mux.Handle("/v1/{release}/marginals", m.tel.instrumented("/v1/{release}/marginals", marginals))
+	m.mux.Handle("/v1/marginals", m.tel.instrumented("/v1/marginals", marginals))
 	info := m.recovered(http.HandlerFunc(m.handleInfo))
-	m.mux.Handle("/v1/{release}/info", info)
-	m.mux.Handle("/v1/info", info)
+	m.mux.Handle("/v1/{release}/info", m.tel.instrumented("/v1/{release}/info", info))
+	m.mux.Handle("/v1/info", m.tel.instrumented("/v1/info", info))
 	stats := m.recovered(http.HandlerFunc(m.handleStats))
-	m.mux.Handle("/v1/{release}/stats", stats)
-	m.mux.Handle("/v1/stats", stats)
+	m.mux.Handle("/v1/{release}/stats", m.tel.instrumented("/v1/{release}/stats", stats))
+	m.mux.Handle("/v1/stats", m.tel.instrumented("/v1/stats", stats))
 	return m
 }
+
+// Metrics exposes the router's telemetry handle set (the same object
+// GET /metrics serves) so owners can wire the release registry and
+// clients onto the shared scrape surface.
+func (m *Multi) Metrics() *Metrics { return m.tel }
 
 // ServeHTTP implements http.Handler.
 func (m *Multi) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -237,7 +255,11 @@ func (m *Multi) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer lease.Close()
-	serveMarginal(w, r, lease, serveEnv{maxK: m.opt.MaxK, logger: m.opt.Logger, svc: m.ov.svc})
+	serveMarginal(w, r, lease, m.env())
+}
+
+func (m *Multi) env() serveEnv {
+	return serveEnv{maxK: m.opt.MaxK, logger: m.opt.Logger, svc: m.ov.svc, tel: m.tel, slow: m.opt.SlowQuery}
 }
 
 func (m *Multi) handleMarginals(w http.ResponseWriter, r *http.Request) {
@@ -253,7 +275,7 @@ func (m *Multi) handleMarginals(w http.ResponseWriter, r *http.Request) {
 	}
 	defer lease.Close()
 	serveMarginals(w, r, lease, batchEnv{
-		serveEnv: serveEnv{maxK: m.opt.MaxK, logger: m.opt.Logger, svc: m.ov.svc},
+		serveEnv: m.env(),
 		ov:       m.ov,
 		maxBatch: m.opt.MaxBatch,
 		workers:  m.opt.BatchWorkers,

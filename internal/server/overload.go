@@ -10,10 +10,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"priview/internal/admission"
+	"priview/internal/telemetry"
 )
 
 // Deadline-propagation and priority headers — the contract between
@@ -60,20 +60,29 @@ func parseDeadlineMs(v string) (time.Duration, bool) {
 // owner keeps its legacy instant-shed semaphore), the per-method
 // service-time EWMA feeding the deadline gate, and the brownout
 // detector. The counters are the middleware-owned half of the
-// admission.Stats snapshot.
+// admission.Stats snapshot; they start standalone and
+// Metrics.instrumentOverload swaps them for registry-backed series
+// before traffic, so /metrics and the JSON stats read one set of
+// numbers.
 type overload struct {
 	opt   Options
 	ctrl  *admission.Controller // nil = legacy semaphore shedding
 	svc   *admission.ServiceTime
 	brown *admission.Brownout // nil = brownout disabled
 
-	deadlineRejected atomic.Uint64
-	brownoutServed   atomic.Uint64
-	brownoutRejected atomic.Uint64
+	deadlineRejected *telemetry.Counter
+	brownoutServed   *telemetry.Counter
+	brownoutRejected *telemetry.Counter
 }
 
 func newOverload(opt Options) *overload {
-	o := &overload{opt: opt, svc: admission.NewServiceTime(nil)}
+	o := &overload{
+		opt:              opt,
+		svc:              admission.NewServiceTime(nil),
+		deadlineRejected: telemetry.NewCounter(),
+		brownoutServed:   telemetry.NewCounter(),
+		brownoutRejected: telemetry.NewCounter(),
+	}
 	if opt.Admission != nil {
 		cfg := *opt.Admission
 		// MaxInflight keeps its meaning as the hard concurrency ceiling;
@@ -285,12 +294,12 @@ func (o *overload) stats() *admission.Stats {
 	var st admission.Stats
 	if o.ctrl != nil {
 		st = o.ctrl.Stats()
-	} else if o.deadlineRejected.Load() == 0 {
+	} else if o.deadlineRejected.Value() == 0 {
 		return nil
 	}
-	st.DeadlineRejected = o.deadlineRejected.Load()
-	st.BrownoutServed = o.brownoutServed.Load()
-	st.BrownoutRejected = o.brownoutRejected.Load()
+	st.DeadlineRejected = o.deadlineRejected.Value()
+	st.BrownoutServed = o.brownoutServed.Value()
+	st.BrownoutRejected = o.brownoutRejected.Value()
 	st.BrownoutActive = o.brown != nil && o.brown.Active()
 	return &st
 }

@@ -43,6 +43,7 @@ import (
 	"priview/internal/marginal"
 	"priview/internal/qcache"
 	"priview/internal/reconstruct"
+	"priview/internal/telemetry"
 )
 
 // Querier is the synopsis surface the server serves. *core.Synopsis
@@ -95,6 +96,16 @@ type Options struct {
 	// Brownout, when non-nil (and Admission set), serves non-priority
 	// traffic from cache hits only under sustained overload.
 	Brownout *admission.BrownoutConfig
+	// Telemetry is the metrics registry GET /metrics serves and every
+	// subsystem counter registers into. nil gets a fresh private
+	// registry, so /metrics always answers; pass a shared registry to
+	// fold the server's series into a process-wide scrape surface.
+	Telemetry *telemetry.Registry
+	// SlowQuery, when > 0, logs a structured slow-query line — with the
+	// request's per-stage timings — for any marginal request whose
+	// total serving time exceeds it, and counts it in
+	// priview_slow_queries_total. ≤ 0 disables the log.
+	SlowQuery time.Duration
 	// Logger receives panic stacks and response-encoding failures
 	// (default log.Default()).
 	Logger *log.Logger
@@ -107,6 +118,7 @@ type Server struct {
 	opt      Options
 	inflight chan struct{} // nil when semaphore shedding is disabled
 	ov       *overload
+	tel      *Metrics
 	draining atomic.Bool
 }
 
@@ -131,16 +143,34 @@ func NewWithOptions(syn Querier, opt Options) *Server {
 	if opt.Logger == nil {
 		opt.Logger = log.Default()
 	}
-	s := &Server{syn: syn, mux: http.NewServeMux(), opt: opt, ov: newOverload(opt)}
+	reg := opt.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Server{syn: syn, mux: http.NewServeMux(), opt: opt, ov: newOverload(opt), tel: NewMetrics(reg)}
 	if opt.MaxInflight > 0 && s.ov.ctrl == nil {
 		s.inflight = make(chan struct{}, opt.MaxInflight)
 	}
+	// Instrumentation precedes traffic: the handle swaps below are
+	// deliberately unsynchronized. The singleton serves one release, so
+	// its cache and warm series use the conventional "default" label.
+	s.tel.instrumentOverload(s.ov)
+	if cq, ok := syn.(*CachedQuerier); ok {
+		s.tel.InstrumentCache("default", cq)
+	}
+	if cs, ok := syn.(CacheStatser); ok {
+		s.tel.WatchCacheGauges("default", cs.CacheStats)
+	}
 	// The health probe gets the same panic recovery as every other
 	// route: a panicking Querier reachable from the health path must
-	// answer 500, not kill the probe's response mid-flight.
-	s.mux.Handle("/healthz", s.recovered(http.HandlerFunc(s.handleHealth)))
-	s.mux.Handle("/v1/info", s.recovered(http.HandlerFunc(s.handleInfo)))
-	s.mux.Handle("/v1/stats", s.recovered(http.HandlerFunc(s.handleStats)))
+	// answer 500, not kill the probe's response mid-flight. The
+	// per-route instrumentation sits outermost so recovered panics
+	// count as the 500s they answer; /metrics itself is deliberately
+	// uninstrumented — a scrape should not perturb the series it reads.
+	s.mux.Handle("/metrics", s.recovered(reg.Handler()))
+	s.mux.Handle("/healthz", s.tel.instrumented("/healthz", s.recovered(http.HandlerFunc(s.handleHealth))))
+	s.mux.Handle("/v1/info", s.tel.instrumented("/v1/info", s.recovered(http.HandlerFunc(s.handleInfo))))
+	s.mux.Handle("/v1/stats", s.tel.instrumented("/v1/stats", s.recovered(http.HandlerFunc(s.handleStats))))
 	// Shed before arming the deadline: a request rejected for capacity
 	// should not consume any of its reconstruction budget.
 	inner := s.ov.deadlined(http.HandlerFunc(s.handleMarginal))
@@ -150,7 +180,7 @@ func NewWithOptions(syn Querier, opt Options) *Server {
 	} else {
 		gated = s.shedding(inner)
 	}
-	s.mux.Handle("/v1/marginal", s.recovered(gated))
+	s.mux.Handle("/v1/marginal", s.tel.instrumented("/v1/marginal", s.recovered(gated)))
 	// The batch route shares the single-query failure model: shed, then
 	// arm the deadline, then solve. The deadline *gate* (as opposed to
 	// the armed timeout) runs inside the handler, size-scaled to the
@@ -162,9 +192,14 @@ func NewWithOptions(syn Querier, opt Options) *Server {
 	} else {
 		gatedBatch = s.shedding(innerBatch)
 	}
-	s.mux.Handle("/v1/marginals", s.recovered(gatedBatch))
+	s.mux.Handle("/v1/marginals", s.tel.instrumented("/v1/marginals", s.recovered(gatedBatch)))
 	return s
 }
+
+// Metrics exposes the server's telemetry handle set — the same object
+// GET /metrics serves — so owners can wire further subsystems (a
+// client, a release registry) onto the shared registry.
+func (s *Server) Metrics() *Metrics { return s.tel }
 
 // tryCacheOnly is the brownout hook: serve the marginal from the
 // synopsis's memoized cache alone, or refuse.
@@ -323,16 +358,20 @@ type marginalResponse struct {
 }
 
 func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
-	serveMarginal(w, r, s.syn, serveEnv{maxK: s.opt.MaxK, logger: s.opt.Logger, svc: s.ov.svc})
+	serveMarginal(w, r, s.syn, s.env())
 }
 
 func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 	serveMarginals(w, r, s.syn, batchEnv{
-		serveEnv: serveEnv{maxK: s.opt.MaxK, logger: s.opt.Logger, svc: s.ov.svc},
+		serveEnv: s.env(),
 		ov:       s.ov,
 		maxBatch: s.opt.MaxBatch,
 		workers:  s.opt.BatchWorkers,
 	})
+}
+
+func (s *Server) env() serveEnv {
+	return serveEnv{maxK: s.opt.MaxK, logger: s.opt.Logger, svc: s.ov.svc, tel: s.tel, slow: s.opt.SlowQuery}
 }
 
 // serveEnv carries the serving context serveMarginal needs beyond the
@@ -342,6 +381,8 @@ type serveEnv struct {
 	maxK   int
 	logger *log.Logger
 	svc    *admission.ServiceTime // nil = no service-time tracking
+	tel    *Metrics               // nil = no telemetry (bare handler tests)
+	slow   time.Duration          // slow-query log threshold; ≤ 0 disables
 }
 
 // serveMarginal validates, reconstructs and answers one marginal query
@@ -376,12 +417,25 @@ func serveMarginal(w http.ResponseWriter, r *http.Request, q Querier, env serveE
 	}
 	// Input is validated; from here every failure is the server's, not
 	// the client's. Panics propagate to the recovery middleware (500).
+	// The trace rides the context down through qcache and core, which
+	// record their stage timings into it.
+	ctx, tr := telemetry.StartTrace(r.Context())
 	start := time.Now()
-	table, err := q.QueryMethodContext(r.Context(), attrs, method)
-	if env.svc != nil && (err == nil || errors.Is(err, reconstruct.ErrNumerical)) {
+	table, err := q.QueryMethodContext(ctx, attrs, method)
+	if err == nil || errors.Is(err, reconstruct.ErrNumerical) {
 		// Only completed solves feed the estimate; a timed-out query
 		// measures its own truncation, not the method's service time.
-		env.svc.Observe(int(method), time.Since(start))
+		if env.svc != nil {
+			env.svc.Observe(int(method), time.Since(start))
+		}
+		if env.tel != nil {
+			env.tel.observeSolve(method, time.Since(start))
+		}
+	}
+	if env.tel != nil {
+		defer env.tel.finishTrace(tr, env.logger, env.slow, r.URL.Path, func() string {
+			return fmt.Sprintf("attrs=%v method=%s", attrs, method)
+		})
 	}
 	switch {
 	case err == nil && table != nil:

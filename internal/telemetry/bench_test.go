@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHotPathZeroAlloc is the allocation gate the ISSUE demands: a
+// counter increment through an interned vec handle, a gauge set, and a
+// histogram observation must not allocate. AllocsPerRun makes the gate
+// a hard test failure, not just a benchmark number someone has to read.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("pv_hot_total", "hot", "release").With("default")
+	g := r.Gauge("pv_hot_gauge", "hot")
+	h := r.HistogramVec("pv_hot_seconds", "hot", DefBuckets, "route").With("/v1/marginal")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(4.5) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveDuration(3 * time.Millisecond) }); n != 0 {
+		t.Fatalf("Histogram.ObserveDuration allocates %v per op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().CounterVec("pv_bench_total", "bench", "release").With("default")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().CounterVec("pv_bench_total", "bench", "release").With("default")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	vec := r.CounterVec("pv_bench_total", "bench", "release")
+	for _, rel := range []string{"a", "b", "c", "d"} {
+		vec.With(rel).Add(100)
+	}
+	h := r.HistogramVec("pv_bench_seconds", "bench", DefBuckets, "route")
+	h.With("/v1/marginal").Observe(0.1)
+	var sink []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = sink[:0]
+		w := appendWriter{&sink}
+		if err := r.WritePrometheus(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// appendWriter collects writes into a caller-owned buffer.
+type appendWriter struct{ buf *[]byte }
+
+func (w appendWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}

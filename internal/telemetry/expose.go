@@ -1,0 +1,163 @@
+// Prometheus text exposition (format version 0.0.4): # HELP / # TYPE
+// header per family, one sample line per child, histogram children
+// rendered as cumulative _bucket series plus _sum and _count. Output
+// order is deterministic — families by name, children by label-value
+// tuple — so goldens and scrape diffs are stable.
+package telemetry
+
+import (
+	"io"
+	"strconv"
+)
+
+// WritePrometheus runs the scrape hooks and renders every family to w
+// in text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	b := make([]byte, 0, 4096)
+	for _, f := range r.snapshotFamilies() {
+		b = f.appendText(b)
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// appendText renders one family: header then every child.
+func (f *family) appendText(b []byte) []byte {
+	b = append(b, "# HELP "...)
+	b = append(b, f.name...)
+	b = append(b, ' ')
+	b = appendEscapedHelp(b, f.help)
+	b = append(b, '\n')
+	b = append(b, "# TYPE "...)
+	b = append(b, f.name...)
+	b = append(b, ' ')
+	b = append(b, f.kind.String()...)
+	b = append(b, '\n')
+	for _, c := range f.sortedChildren() {
+		switch f.kind {
+		case counterKind:
+			b = appendSampleName(b, f.name, f.labels, c.labelValues, "")
+			b = append(b, ' ')
+			b = strconv.AppendUint(b, c.counter.Value(), 10)
+			b = append(b, '\n')
+		case gaugeKind:
+			b = appendSampleName(b, f.name, f.labels, c.labelValues, "")
+			b = append(b, ' ')
+			b = appendFloat(b, c.gauge.Value())
+			b = append(b, '\n')
+		case histogramKind:
+			b = c.hist.appendText(b, f.name, f.labels, c.labelValues)
+		}
+	}
+	return b
+}
+
+// appendText renders one histogram child: cumulative buckets with the
+// `le` label appended after the family labels, then _sum and _count.
+func (h *Histogram) appendText(b []byte, name string, labels, values []string) []byte {
+	buckets, count, sum := h.snapshot()
+	var cum uint64
+	for i, n := range buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		b = appendLabels(b, labels, values, "le", le)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = appendSampleName(b, name, labels, values, "_sum")
+	b = append(b, ' ')
+	b = appendFloat(b, sum)
+	b = append(b, '\n')
+	b = appendSampleName(b, name, labels, values, "_count")
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, count, 10)
+	b = append(b, '\n')
+	return b
+}
+
+// appendSampleName renders name+suffix plus the label block (if any).
+func appendSampleName(b []byte, name string, labels, values []string, suffix string) []byte {
+	b = append(b, name...)
+	b = append(b, suffix...)
+	return appendLabels(b, labels, values, "", "")
+}
+
+// appendLabels renders {k="v",...}, appending the extra pair (used for
+// histogram `le`) last; with no labels and no extra it renders nothing.
+func appendLabels(b []byte, labels, values []string, extraKey, extraVal string) []byte {
+	if len(labels) == 0 && extraKey == "" {
+		return b
+	}
+	b = append(b, '{')
+	for i, l := range labels {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, l...)
+		b = append(b, '=', '"')
+		b = appendEscapedLabelValue(b, values[i])
+		b = append(b, '"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, extraKey...)
+		b = append(b, '=', '"')
+		b = appendEscapedLabelValue(b, extraVal)
+		b = append(b, '"')
+	}
+	return append(b, '}')
+}
+
+// appendEscapedLabelValue escapes backslash, double quote and newline
+// per the exposition format.
+func appendEscapedLabelValue(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// appendEscapedHelp escapes backslash and newline (quotes are legal in
+// HELP text).
+func appendEscapedHelp(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// appendFloat renders a float sample value; +Inf/-Inf spell the
+// exposition forms.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

@@ -1,0 +1,380 @@
+// A strict parser for the Prometheus text exposition subset this
+// package emits. The chaos lanes scrape a live /metrics mid-storm and
+// round-trip the body through ParseText — a malformed escape, a
+// non-cumulative bucket or a duplicate sample fails the storm test, so
+// the exposition path is exercised under the same concurrency the
+// counters are.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line: a (possibly suffixed) sample name,
+// its label set, and the value.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family from a text exposition: its HELP
+// and TYPE headers plus every sample attributed to it (for histograms
+// that includes the _bucket/_sum/_count series).
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// Sample returns the first sample with the given name whose labels are
+// a superset of want, or nil.
+func (f *ParsedFamily) Sample(name string, want map[string]string) *ParsedSample {
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s
+		}
+	}
+	return nil
+}
+
+// ParseText parses a text exposition into families keyed by name,
+// validating the invariants the renderer guarantees: HELP/TYPE headers
+// precede samples, every sample belongs to a declared family, label
+// syntax and escapes are well-formed, no duplicate (name, labels)
+// sample appears, and histogram buckets are cumulative with a +Inf
+// bucket equal to _count.
+func ParseText(r io.Reader) (map[string]*ParsedFamily, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: reading exposition: %w", err)
+	}
+	fams := make(map[string]*ParsedFamily)
+	seen := make(map[string]bool) // duplicate-sample guard: name + sorted labels
+	var cur *ParsedFamily
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		n := lineNo + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			name, rest, ok := cutName(line[len("# HELP "):])
+			if !ok {
+				return nil, fmt.Errorf("telemetry: line %d: malformed HELP", n)
+			}
+			if fams[name] != nil {
+				return nil, fmt.Errorf("telemetry: line %d: duplicate HELP for %s", n, name)
+			}
+			cur = &ParsedFamily{Name: name, Help: rest}
+			fams[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			name, typ, ok := cutName(line[len("# TYPE "):])
+			if !ok {
+				return nil, fmt.Errorf("telemetry: line %d: malformed TYPE", n)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("telemetry: line %d: unknown TYPE %q for %s", n, typ, name)
+			}
+			f := fams[name]
+			if f == nil || f != cur {
+				return nil, fmt.Errorf("telemetry: line %d: TYPE for %s without preceding HELP", n, name)
+			}
+			if f.Type != "" {
+				return nil, fmt.Errorf("telemetry: line %d: duplicate TYPE for %s", n, name)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", n, err)
+		}
+		f := familyFor(fams, s.Name)
+		if f == nil {
+			return nil, fmt.Errorf("telemetry: line %d: sample %s has no declared family", n, s.Name)
+		}
+		if f != cur {
+			return nil, fmt.Errorf("telemetry: line %d: sample %s outside its family block", n, s.Name)
+		}
+		key := sampleKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("telemetry: line %d: duplicate sample %s", n, key)
+		}
+		seen[key] = true
+		f.Samples = append(f.Samples, s)
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("telemetry: family %s has HELP but no TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogramFamily(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// cutName splits "name rest..." at the first space.
+func cutName(s string) (name, rest string, ok bool) {
+	i := strings.IndexByte(s, ' ')
+	if i <= 0 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// familyFor resolves a sample name to its family, stripping the
+// histogram suffixes when the base name is a declared histogram.
+func familyFor(fams map[string]*ParsedFamily, sample string) *ParsedFamily {
+	if f := fams[sample]; f != nil {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sample, suffix)
+		if !ok {
+			continue
+		}
+		if f := fams[base]; f != nil && f.Type == "histogram" {
+			return f
+		}
+	}
+	return nil
+}
+
+// sampleKey canonicalizes (name, labels) for duplicate detection.
+func sampleKey(s ParsedSample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(s.Name)
+	for _, k := range keys {
+		sb.WriteString("|")
+		sb.WriteString(k)
+		sb.WriteString("=")
+		sb.WriteString(s.Labels[k])
+	}
+	return sb.String()
+}
+
+// parseSample parses `name{k="v",...} value` or `name value`.
+func parseSample(line string) (ParsedSample, error) {
+	var s ParsedSample
+	nameEnd := 0
+	for i := 0; i < len(line); i++ {
+		if line[i] == '{' || line[i] == ' ' {
+			break
+		}
+		nameEnd = i + 1
+	}
+	if nameEnd == 0 {
+		return s, fmt.Errorf("sample line has no name: %q", line)
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsRune(rest, ' ') {
+		// A trailing timestamp would show up as a second field; this
+		// renderer never emits one.
+		return s, fmt.Errorf("sample %s: want exactly one value field, got %q", s.Name, rest)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseValue accepts the exposition float forms including +Inf, -Inf
+// and NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a `{k="v",...}` block with escape handling,
+// returning the remainder after the closing brace.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	//lint:ignore ctxflow i strictly advances through a finite in-memory string; no request context reaches the parser
+	for i < len(s) && s[i] != '}' {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label block %q", s)
+		}
+		name := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %s: value is not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		//lint:ignore ctxflow i strictly advances through a finite in-memory string; no request context reaches the parser
+		for i < len(s) {
+			c := s[i]
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: unknown escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, "", fmt.Errorf("label %s: unterminated value", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+	if i >= len(s) || s[i] != '}' {
+		return nil, "", fmt.Errorf("unterminated label block %q", s)
+	}
+	return labels, s[i+1:], nil
+}
+
+// checkHistogramFamily verifies cumulative buckets: grouped by the
+// non-le label set, bucket values must be non-decreasing in `le` order,
+// end in a +Inf bucket, and agree with the _count sample.
+func checkHistogramFamily(f *ParsedFamily) error {
+	type group struct {
+		bounds []float64
+		counts []float64
+		count  float64
+		gotCnt bool
+	}
+	groups := make(map[string]*group)
+	groupKey := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k)
+			sb.WriteString("=")
+			sb.WriteString(labels[k])
+			sb.WriteString("|")
+		}
+		return sb.String()
+	}
+	for _, s := range f.Samples {
+		g := groups[groupKey(s.Labels)]
+		if g == nil {
+			g = &group{}
+			groups[groupKey(s.Labels)] = g
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("telemetry: histogram %s: bucket sample without le label", f.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("telemetry: histogram %s: bad le %q: %w", f.Name, le, err)
+			}
+			g.bounds = append(g.bounds, bound)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_count":
+			g.count, g.gotCnt = s.Value, true
+		}
+	}
+	for _, g := range groups {
+		if len(g.bounds) == 0 {
+			return fmt.Errorf("telemetry: histogram %s: series with no buckets", f.Name)
+		}
+		if !math.IsInf(g.bounds[len(g.bounds)-1], 1) {
+			return fmt.Errorf("telemetry: histogram %s: last bucket is not +Inf", f.Name)
+		}
+		for i := range g.bounds {
+			if i == 0 {
+				continue
+			}
+			if g.bounds[i] <= g.bounds[i-1] {
+				return fmt.Errorf("telemetry: histogram %s: le bounds not ascending", f.Name)
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("telemetry: histogram %s: buckets not cumulative", f.Name)
+			}
+		}
+		if !g.gotCnt {
+			return fmt.Errorf("telemetry: histogram %s: missing _count sample", f.Name)
+		}
+		//lint:ignore floatcmp bucket counts are rendered from uint64s; exact equality is the invariant under test
+		if g.counts[len(g.counts)-1] != g.count {
+			return fmt.Errorf("telemetry: histogram %s: +Inf bucket %v != _count %v", f.Name, g.counts[len(g.counts)-1], g.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Request-scoped tracing: the server starts a Trace per query, threads
+// it through context into qcache → core → reconstruct, and each layer
+// records the stages it actually performed (cache.hit, cache.fill,
+// core.prepare, reconstruct.maxent, ...). On completion the server
+// folds the stages into per-stage latency histograms and, above the
+// -slow-query threshold, emits one structured log line naming where the
+// time went.
+//
+// Every method is nil-safe: a layer can call FromContext(ctx).Stage(...)
+// unconditionally and pay one pointer test when tracing is off.
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceStage is one completed stage inside a traced request.
+type TraceStage struct {
+	// Name identifies the stage, dot-namespaced by layer:
+	// "cache.hit", "cache.join", "cache.fill", "core.prepare",
+	// "reconstruct.maxent", ...
+	Name string
+	// Dur is how long the stage took.
+	Dur time.Duration
+}
+
+// Trace collects the stages of one request. Concurrent stage recording
+// is safe (a batch fans one request across workers).
+type Trace struct {
+	start time.Time
+
+	mu     sync.Mutex
+	stages []TraceStage
+}
+
+// traceKey is the context key type for the request trace.
+type traceKey struct{}
+
+// StartTrace returns ctx carrying a fresh Trace whose clock starts now.
+func StartTrace(ctx context.Context) (context.Context, *Trace) {
+	tr := &Trace{start: time.Now()}
+	return context.WithValue(ctx, traceKey{}, tr), tr
+}
+
+// FromContext returns the Trace carried by ctx, or nil. All Trace
+// methods tolerate a nil receiver, so callers need not check.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// Stage records one completed stage. Nil-safe no-op.
+func (t *Trace) Stage(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, TraceStage{Name: name, Dur: d})
+	t.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stages in recording order.
+// Nil-safe (returns nil).
+func (t *Trace) Stages() []TraceStage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceStage(nil), t.stages...)
+}
+
+// Elapsed returns the wall clock since StartTrace. Nil-safe (zero).
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Summary renders the stages as "name=dur name=dur ..." sorted by
+// descending duration — the slow-query log's where-did-the-time-go
+// field. Nil-safe (empty string).
+func (t *Trace) Summary() string {
+	stages := t.Stages()
+	if len(stages) == 0 {
+		return ""
+	}
+	sort.SliceStable(stages, func(i, j int) bool { return stages[i].Dur > stages[j].Dur })
+	var sb strings.Builder
+	for i, s := range stages {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(s.Name)
+		sb.WriteString("=")
+		sb.WriteString(s.Dur.String())
+	}
+	return sb.String()
+}

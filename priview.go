@@ -32,12 +32,12 @@
 package priview
 
 import (
+	"priview/internal/accuracy"
 	"priview/internal/consistency"
 	"priview/internal/core"
 	"priview/internal/covering"
 	"priview/internal/dataset"
 	"priview/internal/marginal"
-	"priview/internal/metrics"
 	"priview/internal/noise"
 	"priview/internal/reconstruct"
 )
@@ -156,8 +156,8 @@ func Merge(synopses ...*Synopsis) (*Synopsis, error) {
 
 // L2Error returns the L2 distance between two tables over the same
 // attribute set — the paper's error distance.
-func L2Error(a, b *Table) float64 { return metrics.L2Error(a, b) }
+func L2Error(a, b *Table) float64 { return accuracy.L2Error(a, b) }
 
 // JSDivergence returns the Jensen–Shannon divergence between the
 // normalized tables — the paper's second error measure.
-func JSDivergence(a, b *Table) float64 { return metrics.JSDivergence(a, b) }
+func JSDivergence(a, b *Table) float64 { return accuracy.JSDivergence(a, b) }
